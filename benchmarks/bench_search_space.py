@@ -1,0 +1,83 @@
+"""T-SS: search-space statistics on the Listing-1 log.
+
+The paper reports, for the 10-query SDSS log: "The fanout is as high as
+50, and a search path can be as long as 100 steps."  This bench measures
+both on our rule set (which includes the bidirectional inverses, so the
+fanout ceiling is higher) and asserts the paper's orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.difftree import initial_difftree
+from repro.rules import default_engine
+from repro.workloads import listing1_queries
+
+
+def test_fanout_and_path_length(benchmark, table_printer):
+    engine = default_engine()
+    queries = listing1_queries()
+
+    def measure():
+        rng = random.Random(0)
+        max_fanout = 0
+        root_fanout = engine.fanout(initial_difftree(queries))
+        longest_path = 0
+        for walk in range(8):
+            tree = initial_difftree(queries)
+            steps = 0
+            for _ in range(150):
+                moves = engine.moves(tree)
+                max_fanout = max(max_fanout, len(moves))
+                if not moves:
+                    break
+                tree = engine.apply(tree, rng.choice(moves))
+                steps += 1
+            longest_path = max(longest_path, steps)
+        return root_fanout, max_fanout, longest_path
+
+    root_fanout, max_fanout, longest_path = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    table_printer(
+        "T-SS — search-space statistics (Listing-1 log)",
+        ["statistic", "paper", "measured"],
+        [
+            ("initial-state fanout", "-", root_fanout),
+            ("max fanout along walks", "~50", max_fanout),
+            ("random-walk path length", "up to 100+", longest_path),
+        ],
+    )
+    # Shape: fanout in the tens-to-hundreds; paths can exceed 100 steps.
+    assert max_fanout >= 50
+    assert longest_path >= 100
+
+
+def test_state_dedup_via_canonical_keys(benchmark, table_printer):
+    """Transposition sanity: different rewrite orders reach shared states."""
+    engine = default_engine()
+    queries = listing1_queries(1, 4)
+
+    def measure():
+        rng = random.Random(1)
+        seen = set()
+        visits = 0
+        for _ in range(6):
+            tree = initial_difftree(queries)
+            for _ in range(30):
+                move = engine.random_move(tree, rng)
+                if move is None:
+                    break
+                tree = engine.apply(tree, move)
+                seen.add(tree.canonical_key)
+                visits += 1
+        return visits, len(seen)
+
+    visits, unique = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table_printer(
+        "T-SS — transposition rate",
+        ["walk state visits", "unique states", "dedup ratio"],
+        [(visits, unique, f"{unique / max(visits, 1):.2f}")],
+    )
+    assert unique <= visits

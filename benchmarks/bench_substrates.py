@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the substrate operations the search loop is built on.
+
+The paper's "Ongoing Work" section flags the transformation rules as the
+key optimization target ("become slow to evaluate as the difftree becomes
+large"); these benches quantify the per-operation costs behind that
+observation: parsing, execution, expressibility matching, move
+enumeration, and rule application.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cost import CostModel, sampled_evaluation
+from repro.database import execute
+from repro.datagen import make_sdss_database
+from repro.difftree import assignment_for, initial_difftree
+from repro.layout import Screen
+from repro.rules import default_engine
+from repro.sqlast import parse
+from repro.workloads import LISTING1_SQL, listing1_queries
+
+
+def test_parse_listing1(benchmark):
+    benchmark(lambda: [parse(sql) for sql in LISTING1_SQL])
+
+
+def test_execute_listing1_on_sdss(benchmark):
+    db = make_sdss_database(rows_per_table=500, seed=1)
+    queries = listing1_queries()
+    benchmark(lambda: [execute(db, q) for q in queries])
+
+
+def test_initial_difftree_build(benchmark):
+    queries = listing1_queries()
+    benchmark(lambda: initial_difftree(queries))
+
+
+def test_move_enumeration(benchmark):
+    engine = default_engine()
+    tree = initial_difftree(listing1_queries())
+    benchmark(lambda: engine.moves(tree))
+
+
+def test_rule_application(benchmark):
+    engine = default_engine()
+    tree = initial_difftree(listing1_queries())
+    move = engine.moves(tree)[0]
+    benchmark(lambda: engine.apply(tree, move))
+
+
+def test_random_walk_step(benchmark):
+    engine = default_engine()
+    tree = initial_difftree(listing1_queries())
+    rng = random.Random(0)
+
+    def step():
+        move = engine.random_move(tree, rng)
+        return engine.apply(tree, move)
+
+    benchmark(step)
+
+
+def test_expressibility_match(benchmark):
+    engine = default_engine()
+    queries = listing1_queries()
+    tree = initial_difftree(queries)
+    rng = random.Random(0)
+    for _ in range(15):
+        move = engine.random_move(tree, rng)
+        if move is None:
+            break
+        tree = engine.apply(tree, move)
+    benchmark(lambda: [assignment_for(tree, q) for q in queries])
+
+
+def test_state_evaluation(benchmark):
+    queries = listing1_queries()
+    model = CostModel(queries, Screen.wide())
+    tree = initial_difftree(queries)
+    rng = random.Random(0)
+    benchmark(lambda: sampled_evaluation(model, tree, k=5, rng=rng))

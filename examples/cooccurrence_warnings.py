@@ -1,0 +1,59 @@
+"""Co-occurrence warnings: the paper's Ongoing-Work extension in action.
+
+Generated interfaces intentionally generalize the input log — the
+difftree expresses combinations of widget choices no log query ever
+used.  Most are useful; some "may not make semantic sense" (paper,
+Ongoing Work).  This example fits the co-occurrence model on the SDSS
+log and shows how an interface can warn when the user steers into
+never-witnessed territory.
+
+Run:  python examples/cooccurrence_warnings.py
+"""
+
+from repro import GenerationConfig, Screen, generate_interface
+from repro.cooccur import CooccurrenceModel
+from repro.difftree import assignment_for, enumerate_queries
+from repro.sqlast import to_sql
+from repro.workloads import listing1_queries, listing1_sql
+
+
+def main() -> None:
+    result = generate_interface(
+        listing1_sql(6, 8),
+        screen=Screen.wide(),
+        config=GenerationConfig(time_budget_s=4.0, seed=11),
+    )
+    tree = result.difftree
+    queries = listing1_queries(6, 8)
+    model = CooccurrenceModel.from_log(tree, queries)
+
+    print("Interface generated from queries 6-8 of the SDSS log:")
+    print(result.ascii_art)
+    print(f"\nFitted co-occurrence model over {model.num_queries} queries.")
+
+    print("\nScanning expressible queries for unlikely widget combinations:")
+    likely = unlikely = 0
+    examples = []
+    for query in enumerate_queries(tree, limit=60):
+        assignment = assignment_for(tree, query)
+        if assignment is None:
+            continue
+        if model.is_likely(assignment):
+            likely += 1
+        else:
+            unlikely += 1
+            if len(examples) < 5:
+                examples.append(query)
+    print(f"  likely (witnessed combos):   {likely}")
+    print(f"  unlikely (never witnessed):  {unlikely}")
+    print("\nExamples the interface would flag with a warning:")
+    for query in examples:
+        print(f"  ⚠ {to_sql(query)}")
+    print(
+        "\nThe log queries themselves are always likely:",
+        all(model.is_likely(assignment_for(tree, q)) for q in queries),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Log patterns: how different analysis-session shapes change the interface.
+
+The paper's premise is that "the structural differences between the
+queries are representative of the types of changes the user wishes to
+express interactively".  This example generates four characteristic
+session shapes with the synthetic workload generators and shows how the
+generated interface adapts:
+
+* value drift        → a slider / numeric chooser
+* clause toggling    → toggles / checkboxes guarding optional clauses
+* growing predicates → an adder (MULTI) widget
+* mixed session      → a composite interface
+
+It also compares search strategies head-to-head on the mixed session.
+
+Run:  python examples/log_patterns.py
+"""
+
+from collections import Counter
+
+from repro import GenerationConfig, Screen, generate_interface
+from repro.sqlast import to_sql
+from repro.workloads import (
+    clause_toggle_log,
+    mixed_session_log,
+    predicate_add_log,
+    value_drift_log,
+)
+
+BUDGET_S = 3.0
+
+
+def show(name: str, queries, seed: int = 5) -> None:
+    print(f"\n=== {name} ===")
+    for query in queries[:4]:
+        print(f"  {to_sql(query)}")
+    if len(queries) > 4:
+        print(f"  ... ({len(queries) - 4} more)")
+    result = generate_interface(
+        queries,
+        screen=Screen.wide(),
+        config=GenerationConfig(time_budget_s=BUDGET_S, seed=seed),
+    )
+    mix = Counter(
+        n.widget for n in result.widget_tree.walk() if n.choice_path is not None
+    )
+    print(f"  -> cost {result.cost:.2f}, widgets {dict(mix)}")
+    print("\n".join("  " + line for line in result.ascii_art.splitlines()))
+
+
+def compare_strategies(queries) -> None:
+    print("\n=== Strategy comparison on the mixed session ===")
+    print(f"{'strategy':<12} {'cost':>8} {'states':>8}")
+    for strategy in ("mcts", "random", "greedy", "beam"):
+        result = generate_interface(
+            queries,
+            config=GenerationConfig(
+                strategy=strategy, time_budget_s=BUDGET_S, seed=3
+            ),
+        )
+        print(
+            f"{strategy:<12} {result.cost:>8.2f} "
+            f"{result.search.stats.states_evaluated:>8d}"
+        )
+
+
+def main() -> None:
+    show("Value drift (literal sweeps)", value_drift_log(num_queries=7, seed=2))
+    show("Clause toggling", clause_toggle_log(num_queries=8, seed=4))
+    show("Growing predicate chains", predicate_add_log(num_queries=6, seed=1))
+    mixed = mixed_session_log(num_queries=10, seed=8)
+    show("Mixed session", mixed)
+    compare_strategies(mixed)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — reproduction of *Monte Carlo Tree Search for Generating
+Interactive Data Analysis Interfaces* (Chen & Wu, 2020).
+
+Given a SQL query log, synthesize an interactive analysis interface:
+a hierarchical layout of widgets (dropdowns, sliders, buttons, toggles,
+tabs, adders) that can express every query in the log, selected by MCTS
+over *difftree* states under a usability cost model.
+
+Quick start::
+
+    from repro import generate_interface, Screen
+
+    log = [
+        "select top 10 objid from stars where u between 0 and 30",
+        "select top 100 objid from stars where u between 5 and 25",
+    ]
+    result = generate_interface(log, screen=Screen.wide())
+    print(result.ascii_art)
+"""
+
+from .core import GeneratedInterface, GenerationConfig, generate_interface
+from .layout import Screen
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "generate_interface",
+    "GenerationConfig",
+    "GeneratedInterface",
+    "Screen",
+    "__version__",
+]

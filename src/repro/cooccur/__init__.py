@@ -1,0 +1,5 @@
+"""Co-occurrence statistics over choice assignments (paper: Ongoing Work)."""
+
+from .stats import CooccurrenceModel
+
+__all__ = ["CooccurrenceModel"]

@@ -1,0 +1,10 @@
+"""Top-level API."""
+
+from .api import STRATEGIES, GeneratedInterface, GenerationConfig, generate_interface
+
+__all__ = [
+    "generate_interface",
+    "GenerationConfig",
+    "GeneratedInterface",
+    "STRATEGIES",
+]

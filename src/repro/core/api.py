@@ -1,0 +1,190 @@
+"""The library front door: one call from query log to interface.
+
+    from repro import generate_interface, Screen
+
+    result = generate_interface(
+        ["select a from t where x < 1", "select b from t where x < 2"],
+        screen=Screen.wide(),
+        config=GenerationConfig(time_budget_s=10.0),
+    )
+    print(result.ascii_art)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from ..cost import CostModel, CostWeights, EvaluatedInterface
+from ..database import Database
+from ..difftree import DTNode, as_asts, initial_difftree
+from ..interface import InterfaceSession, render_ascii, render_html
+from ..layout import Screen
+from ..rules import RuleEngine, default_engine
+from ..search import (
+    MCTSConfig,
+    SearchResult,
+    beam_search,
+    exhaustive_search,
+    greedy_search,
+    mcts_search,
+    random_search,
+)
+from ..sqlast import Node
+
+STRATEGIES = ("mcts", "random", "greedy", "beam", "exhaustive")
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """End-to-end generation settings.
+
+    Attributes:
+        strategy: search strategy (``"mcts"`` is the paper's).
+        time_budget_s: wall-clock search budget (paper used ~60 s).
+        k_assignments: widget-assignment samples per state reward.
+        exploration_c: UCT exploration constant (MCTS only).
+        max_walk_steps: random-walk cap (paper: 200).
+        seed: RNG seed for reproducible generation.
+        weights: cost-term weights.
+        exclude_rules: rule names to disable (ablations).
+        final_cap: widget-enumeration cap for the final phase.
+    """
+
+    strategy: str = "mcts"
+    time_budget_s: float = 5.0
+    k_assignments: int = 5
+    exploration_c: float = 1.4
+    max_walk_steps: int = 200
+    seed: int = 0
+    weights: CostWeights = field(default_factory=CostWeights)
+    exclude_rules: Sequence[str] = ()
+    final_cap: int = 4000
+
+
+@dataclass
+class GeneratedInterface:
+    """Everything a caller needs from one generation run."""
+
+    queries: List[Node]
+    screen: Screen
+    search: SearchResult
+    best: EvaluatedInterface
+
+    @property
+    def cost(self) -> float:
+        return self.best.cost
+
+    @property
+    def difftree(self) -> DTNode:
+        return self.best.tree
+
+    @property
+    def widget_tree(self):
+        return self.best.widget_tree
+
+    @property
+    def ascii_art(self) -> str:
+        return render_ascii(self.best.widget_tree)
+
+    def html(self, title: str = "Generated interface") -> str:
+        return render_html(self.best.widget_tree, title=title)
+
+    def session(self, db: Optional[Database] = None) -> InterfaceSession:
+        """Open an interactive session on this interface."""
+        return InterfaceSession(
+            self.difftree,
+            self.widget_tree,
+            db=db,
+            initial_query=self.queries[0],
+        )
+
+
+def generate_interface(
+    queries: Sequence[Union[str, Node]],
+    screen: Optional[Screen] = None,
+    config: GenerationConfig = GenerationConfig(),
+    engine: Optional[RuleEngine] = None,
+) -> GeneratedInterface:
+    """Generate an interactive interface for a SQL query log.
+
+    Args:
+        queries: the input log — SQL strings or pre-parsed ASTs, in
+            session order (order matters: the ``U`` cost models stepping
+            through the log sequentially).
+        screen: output screen constraint (default: wide).
+        config: generation settings.
+        engine: custom rule engine (default: the paper's full rule set,
+            optionally filtered by ``config.exclude_rules``).
+
+    Returns:
+        A :class:`GeneratedInterface` bundling the winning difftree,
+        widget tree, cost, and search diagnostics.
+    """
+    asts = as_asts(queries)
+    screen = screen or Screen.wide()
+    engine = engine or default_engine(exclude=config.exclude_rules or None)
+    model = CostModel(asts, screen, weights=config.weights)
+    initial = initial_difftree(asts)
+
+    if config.strategy == "mcts":
+        result = mcts_search(
+            model,
+            initial,
+            engine=engine,
+            config=MCTSConfig(
+                exploration_c=config.exploration_c,
+                max_walk_steps=config.max_walk_steps,
+                k_assignments=config.k_assignments,
+                time_budget_s=config.time_budget_s,
+                seed=config.seed,
+                final_cap=config.final_cap,
+            ),
+        )
+    elif config.strategy == "random":
+        result = random_search(
+            model,
+            initial,
+            engine=engine,
+            time_budget_s=config.time_budget_s,
+            max_walk_steps=config.max_walk_steps,
+            k_assignments=config.k_assignments,
+            seed=config.seed,
+            final_cap=config.final_cap,
+        )
+    elif config.strategy == "greedy":
+        result = greedy_search(
+            model,
+            initial,
+            engine=engine,
+            time_budget_s=config.time_budget_s,
+            k_assignments=config.k_assignments,
+            seed=config.seed,
+            final_cap=config.final_cap,
+        )
+    elif config.strategy == "beam":
+        result = beam_search(
+            model,
+            initial,
+            engine=engine,
+            time_budget_s=config.time_budget_s,
+            k_assignments=config.k_assignments,
+            seed=config.seed,
+            final_cap=config.final_cap,
+        )
+    elif config.strategy == "exhaustive":
+        result = exhaustive_search(
+            model,
+            initial,
+            engine=engine,
+            k_assignments=config.k_assignments,
+            seed=config.seed,
+            final_cap=config.final_cap,
+        )
+    else:
+        raise ValueError(
+            f"unknown strategy {config.strategy!r} (have: {', '.join(STRATEGIES)})"
+        )
+    return GeneratedInterface(
+        queries=asts, screen=screen, search=result, best=result.best
+    )

@@ -1,0 +1,21 @@
+"""Cost model C(W,Q) and difftree-state evaluation."""
+
+from .evaluate import (
+    EvaluatedInterface,
+    coordinate_descent,
+    exhaustive_evaluation,
+    sampled_evaluation,
+    worst_sampled_evaluation,
+)
+from .model import CostBreakdown, CostModel, CostWeights
+
+__all__ = [
+    "CostModel",
+    "CostWeights",
+    "CostBreakdown",
+    "EvaluatedInterface",
+    "sampled_evaluation",
+    "exhaustive_evaluation",
+    "coordinate_descent",
+    "worst_sampled_evaluation",
+]

@@ -1,0 +1,250 @@
+"""The interface cost function ``C(W, Q) = Σ U(qi, qi+1, W) + Σ M(w)``.
+
+``M(w)`` measures whether each selected widget suits the domain it must
+express (appropriateness, borrowed from Zhang, Sellam & Wu 2017; layout
+boxes contribute a small layout-complexity constant after Comber & Maltby).
+
+``U(qi, qi+1, W)`` measures how hard it is to *use* the interface to step
+through the input query sequence: the minimum set of widgets whose values
+must change to turn ``qi`` into ``qi+1``, charged as (a) the size of the
+minimum spanning (Steiner) subtree of the widget tree connecting those
+widgets — how far the user's attention/mouse must travel across the layout
+hierarchy — plus (b) each touched widget's interaction effort.
+
+A widget tree that does not fit the screen is invalid: infinite cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..difftree import Assignment, DTNode, Path, assignment_for, changed_choices
+from ..layout import Screen, fits, measure
+from ..sqlast import nodes as N
+from ..widgets.tree import WidgetNode
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Linear weights of the cost terms.
+
+    Attributes:
+        m: weight of the appropriateness sum Σ M(w).
+        u: weight of the sequence-usability sum Σ U.  The default keeps
+            one widget interaction roughly comparable to a fraction of an
+            appropriateness point, so a fine-grained interface that takes
+            a few more clicks per log step still beats one giant
+            whole-query chooser (the paper's preferred trade-off, cf.
+            Figure 6(a) versus Figure 2(a)-style interfaces).
+        steiner: weight (inside U) of the connecting-subtree size.
+        effort: weight (inside U) of per-widget interaction effort.
+    """
+
+    m: float = 1.0
+    u: float = 0.3
+    steiner: float = 0.25
+    effort: float = 1.0
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Itemized cost of one widget tree for one query sequence."""
+
+    m_cost: float
+    u_cost: float
+    feasible: bool
+    width: float
+    height: float
+    steiner_nodes: int = 0
+    effort: float = 0.0
+    pair_costs: Tuple[float, ...] = ()
+    overflow_w: float = 0.0
+    overflow_h: float = 0.0
+
+    @property
+    def total(self) -> float:
+        if not self.feasible:
+            return math.inf
+        return self.m_cost + self.u_cost
+
+    @property
+    def rank(self) -> Tuple[int, float]:
+        """Total order usable even among invalid interfaces.
+
+        Feasible interfaces compare by cost; infeasible ones compare by
+        how far they overflow the screen (then by finite cost), so
+        optimizers have a gradient toward feasibility instead of a flat
+        infinite plateau.
+        """
+        if self.feasible:
+            return (0, self.m_cost + self.u_cost)
+        return (1, self.overflow_w + self.overflow_h + self.m_cost + self.u_cost)
+
+
+class CostModel:
+    """Evaluates widget trees against a query sequence and a screen."""
+
+    def __init__(
+        self,
+        queries: Sequence[N.Node],
+        screen: Screen,
+        weights: CostWeights = CostWeights(),
+    ) -> None:
+        if not queries:
+            raise ValueError("cost model needs at least one query")
+        self.queries = list(queries)
+        self.screen = screen
+        self.weights = weights
+        #: difftree canonical key -> per-query assignments (cache).
+        self._assignment_cache: Dict[str, Optional[List[Assignment]]] = {}
+
+    # -- M term -------------------------------------------------------------
+
+    def appropriateness(self, root: WidgetNode) -> float:
+        """Σ M(w) over every widget in the tree."""
+        total = 0.0
+        for node in root.walk():
+            total += node.wtype.appropriateness(node.domain)
+        return total
+
+    # -- U term -------------------------------------------------------------
+
+    def assignments(self, tree: DTNode) -> Optional[List[Assignment]]:
+        """Choice assignments of every input query under ``tree``.
+
+        Returns ``None`` when some query is not expressible (an invalid
+        state; rules never produce one, but callers stay defensive).
+        """
+        key = tree.canonical_key
+        if key not in self._assignment_cache:
+            assignments: Optional[List[Assignment]] = []
+            for query in self.queries:
+                assignment = assignment_for(tree, query)
+                if assignment is None:
+                    assignments = None
+                    break
+                assignments.append(assignment)
+            if len(self._assignment_cache) > 4096:
+                self._assignment_cache.clear()
+            self._assignment_cache[key] = assignments
+        return self._assignment_cache[key]
+
+    def sequence_cost(
+        self, tree: DTNode, root: WidgetNode
+    ) -> Tuple[float, int, float, List[float]]:
+        """Σ U over consecutive query pairs.
+
+        Returns ``(u_total, steiner_nodes_total, effort_total, per_pair)``.
+        """
+        assignments = self.assignments(tree)
+        if assignments is None:
+            return (math.inf, 0, 0.0, [])
+        by_path: Dict[Path, WidgetNode] = {
+            node.choice_path: node
+            for node in root.walk()
+            if node.choice_path is not None
+        }
+        parents, depths = _tree_indexes(root)
+        u_total = 0.0
+        steiner_total = 0
+        effort_total = 0.0
+        per_pair: List[float] = []
+        for a, b in zip(assignments, assignments[1:]):
+            changed = changed_choices(a, b)
+            touched = [by_path[p] for p in changed if p in by_path]
+            steiner = _steiner_size(touched, parents, depths)
+            effort = sum(n.wtype.effort(n.domain, n.size_class) for n in touched)
+            pair = self.weights.steiner * steiner + self.weights.effort * effort
+            per_pair.append(pair)
+            u_total += pair
+            steiner_total += steiner
+            effort_total += effort
+        return (u_total, steiner_total, effort_total, per_pair)
+
+    # -- total -------------------------------------------------------------
+
+    def evaluate(self, tree: DTNode, root: WidgetNode) -> CostBreakdown:
+        """Full cost of one (difftree, widget tree) pair."""
+        box = measure(root)
+        feasible = box.width <= self.screen.width and box.height <= self.screen.height
+        m_cost = self.weights.m * self.appropriateness(root)
+        u_cost, steiner_nodes, effort, per_pair = self.sequence_cost(tree, root)
+        if math.isinf(u_cost):
+            feasible = False
+            u_cost = 0.0
+        return CostBreakdown(
+            m_cost=m_cost,
+            u_cost=self.weights.u * u_cost,
+            feasible=feasible,
+            width=box.width,
+            height=box.height,
+            steiner_nodes=steiner_nodes,
+            effort=effort,
+            pair_costs=tuple(per_pair),
+            overflow_w=max(0.0, box.width - self.screen.width),
+            overflow_h=max(0.0, box.height - self.screen.height),
+        )
+
+
+# -- Steiner subtree on the widget tree -----------------------------------------
+
+
+def _tree_indexes(
+    root: WidgetNode,
+) -> Tuple[Dict[int, Optional[WidgetNode]], Dict[int, int]]:
+    parents: Dict[int, Optional[WidgetNode]] = {id(root): None}
+    depths: Dict[int, int] = {id(root): 0}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        for child in node.children:
+            parents[id(child)] = node
+            depths[id(child)] = depths[id(node)] + 1
+            stack.append(child)
+    return parents, depths
+
+
+def _steiner_size(
+    targets: List[WidgetNode],
+    parents: Dict[int, Optional[WidgetNode]],
+    depths: Dict[int, int],
+) -> int:
+    """Node count of the minimal subtree connecting ``targets``.
+
+    In a tree, the minimal connected subgraph containing a node set equals
+    the union of each target's path to the set's lowest common ancestor —
+    computed exactly here (no approximation).
+    """
+    if not targets:
+        return 0
+    if len(targets) == 1:
+        return 1
+    lca = targets[0]
+    for node in targets[1:]:
+        lca = _lca(lca, node, parents, depths)
+    nodes = set()
+    for node in targets:
+        cursor: Optional[WidgetNode] = node
+        while cursor is not None and id(cursor) != id(lca):
+            nodes.add(id(cursor))
+            cursor = parents[id(cursor)]
+    nodes.add(id(lca))
+    return len(nodes)
+
+
+def _lca(
+    a: WidgetNode,
+    b: WidgetNode,
+    parents: Dict[int, Optional[WidgetNode]],
+    depths: Dict[int, int],
+) -> WidgetNode:
+    while depths[id(a)] > depths[id(b)]:
+        a = parents[id(a)]
+    while depths[id(b)] > depths[id(a)]:
+        b = parents[id(b)]
+    while id(a) != id(b):
+        a = parents[id(a)]
+        b = parents[id(b)]
+    return a

@@ -1,0 +1,18 @@
+"""In-memory database substrate: columnar storage and a SQL executor.
+
+Generated interfaces hold a *current query*; every widget interaction
+rewrites that query and re-executes it here to refresh the visualization.
+"""
+
+from .executor import AGGREGATES, ExecutionError, execute
+from .storage import Database, ResultSet, SchemaError, Table
+
+__all__ = [
+    "Table",
+    "Database",
+    "ResultSet",
+    "SchemaError",
+    "ExecutionError",
+    "execute",
+    "AGGREGATES",
+]

@@ -1,0 +1,5 @@
+"""Synthetic data generators (offline substitutes for public datasets)."""
+
+from .sdss import make_sdss_database
+
+__all__ = ["make_sdss_database"]

@@ -1,0 +1,50 @@
+"""Anti-unification of difftree subtrees.
+
+``anti_unify(a, b)`` computes the least-general difftree expressing both
+inputs: shared structure stays concrete, differing parts become ``ANY``
+choices.  This is the merge primitive behind the ``Multi`` rule (merging
+repeated predicate conjuncts into one ``MULTI`` template) and is also used
+by the bottom-up mining baseline.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Sequence
+
+from .dtnodes import ALL, ANY, DTNode, any_node
+from .normalize import normalize
+
+
+def anti_unify(a: DTNode, b: DTNode) -> DTNode:
+    """Least-general generalization of two difftree subtrees."""
+    return normalize(_au(a, b))
+
+
+def anti_unify_all(subtrees: Sequence[DTNode]) -> DTNode:
+    """Fold :func:`anti_unify` over a non-empty sequence of subtrees."""
+    if not subtrees:
+        raise ValueError("anti_unify_all requires at least one subtree")
+    return normalize(reduce(_au, subtrees))
+
+
+def _au(a: DTNode, b: DTNode) -> DTNode:
+    if a == b:
+        return a
+    if (
+        a.kind == ALL
+        and b.kind == ALL
+        and a.head == b.head
+        and len(a.children) == len(b.children)
+    ):
+        children = tuple(_au(x, y) for x, y in zip(a.children, b.children))
+        return DTNode(ALL, a.label, a.value, children)
+    # Heads differ (including same label, different leaf value) or arity
+    # differs: fall back to an explicit choice between the two subtrees.
+    alternatives = []
+    for node in (a, b):
+        if node.kind == ANY:
+            alternatives.extend(node.children)
+        else:
+            alternatives.append(node)
+    return any_node(alternatives)

@@ -1,0 +1,50 @@
+"""Building the initial difftree search state.
+
+The paper's initial state is "the list of input queries connected with an
+ANY node as the root" (Figure 1 with the top ANY): a trivially valid
+interface where each query is one button.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from ..sqlast import nodes as N
+from ..sqlast.parser import parse
+from .dtnodes import DTNode, any_node, wrap_ast
+from .normalize import normalize
+
+QueryLike = Union[str, N.Node]
+
+
+def as_asts(queries: Sequence[QueryLike]) -> List[N.Node]:
+    """Coerce a mixed list of SQL strings / ASTs into ASTs."""
+    asts: List[N.Node] = []
+    for query in queries:
+        if isinstance(query, N.Node):
+            asts.append(query)
+        elif isinstance(query, str):
+            asts.append(parse(query))
+        else:
+            raise TypeError(f"query must be SQL text or AST, got {type(query)}")
+    return asts
+
+
+def initial_difftree(queries: Sequence[QueryLike]) -> DTNode:
+    """The root search state: ``ANY`` over the (deduplicated) query ASTs.
+
+    Raises:
+        ValueError: if ``queries`` is empty.
+    """
+    asts = as_asts(queries)
+    if not asts:
+        raise ValueError("need at least one input query")
+    seen = set()
+    unique: List[N.Node] = []
+    for ast in asts:
+        if ast not in seen:
+            seen.add(ast)
+            unique.append(ast)
+    if len(unique) == 1:
+        return normalize(wrap_ast(unique[0]))
+    return normalize(any_node([wrap_ast(ast) for ast in unique]))

@@ -1,0 +1,246 @@
+"""Expressibility: which queries can a difftree express, and how?
+
+A difftree expresses a query when there is a way to resolve every choice
+node (pick an ``ANY`` alternative, include/exclude each ``OPT``, choose a
+repetition count and per-repetition content for each ``MULTI``) such that
+the resolved tree equals the query's AST.  The set of choices made is the
+*choice assignment* — it is exactly the widget state that shows the query
+in the generated interface, and it is what the sequence-usability cost
+``U(qi, qi+1, W)`` compares between consecutive queries.
+
+Matching is sequence-based: the children of an ``ALL`` node form a list of
+*slots*, and each slot can consume zero (``EMPTY``, absent ``OPT``,
+``MULTI`` with count 0), one (``ALL``), or many (``MULTI``) of the AST
+node's children, like a small regular expression over child lists.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from ..sqlast import nodes as N
+from .dtnodes import ALL, ANY, EMPTY, MULTI, OPT, DTNode, Path
+
+#: A choice assignment: choice-node path -> chosen value.
+#:  * ANY   -> int index of the chosen alternative
+#:  * OPT   -> bool (present?)
+#:  * MULTI -> tuple of per-repetition frozen sub-assignments
+Assignment = Dict[Path, Any]
+
+#: Frozen form of a nested (per-repetition) assignment.
+FrozenAssignment = FrozenSet[Tuple[Path, Any]]
+
+
+class Matcher:
+    """Single-use matcher binding one difftree to one query AST."""
+
+    def __init__(self, root: DTNode, ast: N.Node) -> None:
+        self.root = root
+        self.ast = ast
+        self._fail: set = set()
+
+    def first_assignment(self) -> Optional[Assignment]:
+        """Return the first (canonical) choice assignment, or None."""
+        for end, choices in self._assign_one(self.root, (self.ast,), 0, ()):
+            if end == 1:
+                return dict(choices)
+        return None
+
+    def matches(self) -> bool:
+        return self.first_assignment() is not None
+
+    # -- internals -----------------------------------------------------------
+
+    def _assign_one(
+        self,
+        slot: DTNode,
+        nodes: Tuple[N.Node, ...],
+        j: int,
+        path: Path,
+    ) -> Iterator[Tuple[int, Tuple[Tuple[Path, Any], ...]]]:
+        """Yield ``(next_j, choices)`` for each way ``slot`` can consume
+        children of ``nodes`` starting at position ``j``."""
+        kind = slot.kind
+        if kind == EMPTY:
+            yield j, ()
+            return
+        if kind == ALL:
+            if j >= len(nodes):
+                return
+            node = nodes[j]
+            if node.label != slot.label or node.value != slot.value:
+                return
+            for choices in self._assign_seq(slot.children, node.children, 0, 0, path):
+                yield j + 1, choices
+            return
+        if kind == ANY:
+            for index, alt in enumerate(slot.children):
+                for end, choices in self._assign_one(alt, nodes, j, path + (index,)):
+                    yield end, choices + ((path, index),)
+            return
+        if kind == OPT:
+            yield j, ((path, False),)
+            for end, choices in self._assign_one(
+                slot.children[0], nodes, j, path + (0,)
+            ):
+                yield end, choices + ((path, True),)
+            return
+        if kind == MULTI:
+            template = slot.children[0]
+            yield j, ((path, ()),)
+            # Breadth-first over repetition counts; each repetition records
+            # its own sub-assignment with paths relative to the template.
+            frontier: List[Tuple[int, Tuple[FrozenAssignment, ...]]] = [(j, ())]
+            seen = {j}
+            while frontier:
+                position, reps = frontier.pop(0)
+                for end, choices in self._assign_one(
+                    template, nodes, position, path + (0,)
+                ):
+                    if end == position:
+                        continue  # zero-width repetition would loop forever
+                    relative = frozenset(
+                        (sub_path[len(path) + 1 :], value)
+                        for sub_path, value in choices
+                    )
+                    new_reps = reps + (relative,)
+                    yield end, ((path, new_reps),)
+                    if end not in seen:
+                        seen.add(end)
+                        frontier.append((end, new_reps))
+            return
+        raise AssertionError(f"unreachable kind {kind!r}")
+
+    def _assign_seq(
+        self,
+        slots: Tuple[DTNode, ...],
+        nodes: Tuple[N.Node, ...],
+        i: int,
+        j: int,
+        parent_path: Path,
+    ) -> Iterator[Tuple[Tuple[Path, Any], ...]]:
+        """Yield choice tuples for matching ``slots[i:]`` against
+        ``nodes[j:]`` exactly (all nodes consumed)."""
+        key = (id(slots), id(nodes), i, j)
+        if key in self._fail:
+            return
+        if i == len(slots):
+            if j == len(nodes):
+                yield ()
+            else:
+                self._fail.add(key)
+            return
+        produced = False
+        slot = slots[i]
+        for end, choices in self._assign_one(slot, nodes, j, parent_path + (i,)):
+            for rest in self._assign_seq(slots, nodes, i + 1, end, parent_path):
+                produced = True
+                yield choices + rest
+        if not produced:
+            self._fail.add(key)
+
+
+def expresses(tree: DTNode, ast: N.Node) -> bool:
+    """True if the difftree can express the query AST."""
+    return Matcher(tree, ast).matches()
+
+
+def expresses_all(tree: DTNode, asts: Sequence[N.Node]) -> bool:
+    """True if the difftree expresses every query in ``asts``."""
+    return all(expresses(tree, ast) for ast in asts)
+
+
+def assignment_for(tree: DTNode, ast: N.Node) -> Optional[Assignment]:
+    """The canonical widget-state assignment expressing ``ast``, or None."""
+    return Matcher(tree, ast).first_assignment()
+
+
+def changed_choices(a: Assignment, b: Assignment) -> List[Path]:
+    """Choice paths whose values differ between two assignments.
+
+    This is the set of widgets the user must touch to move from the query
+    behind ``a`` to the query behind ``b`` — the inner quantity of the
+    paper's ``U`` cost.
+    """
+    paths = set(a) | set(b)
+    return sorted(p for p in paths if a.get(p) != b.get(p))
+
+
+# -- enumeration / counting ----------------------------------------------------
+
+
+def count_queries(tree: DTNode, multi_cap: int = 3) -> int:
+    """Upper bound on the number of distinct queries the tree expresses.
+
+    ``MULTI`` nodes are capped at ``multi_cap`` repetitions.  Overlapping
+    ``ANY`` alternatives may be double-counted, so this is an upper bound
+    (exact for trees produced from disjoint query sets).
+    """
+
+    def count(node: DTNode) -> int:
+        if node.kind == EMPTY:
+            return 1
+        if node.kind == ALL:
+            product = 1
+            for child in node.children:
+                product *= count(child)
+            return product
+        if node.kind == ANY:
+            return sum(count(c) for c in node.children)
+        if node.kind == OPT:
+            return 1 + count(node.children[0])
+        if node.kind == MULTI:
+            per = count(node.children[0])
+            return sum(per**k for k in range(multi_cap + 1))
+        raise AssertionError(node.kind)
+
+    return count(tree)
+
+
+def enumerate_queries(
+    tree: DTNode, limit: int = 1000, multi_cap: int = 2
+) -> List[N.Node]:
+    """Materialize up to ``limit`` distinct query ASTs the tree expresses.
+
+    ``MULTI`` nodes are expanded up to ``multi_cap`` repetitions.
+    """
+
+    def gen(node: DTNode) -> Iterator[Tuple[N.Node, ...]]:
+        if node.kind == EMPTY:
+            yield ()
+            return
+        if node.kind == ALL:
+            child_options = [list(gen(c)) for c in node.children]
+            for combo in itertools.product(*child_options):
+                flat: Tuple[N.Node, ...] = tuple(itertools.chain.from_iterable(combo))
+                yield (N.Node(node.label, node.value, flat),)
+            return
+        if node.kind == ANY:
+            for alt in node.children:
+                yield from gen(alt)
+            return
+        if node.kind == OPT:
+            yield ()
+            yield from gen(node.children[0])
+            return
+        if node.kind == MULTI:
+            repetitions = list(gen(node.children[0]))
+            for k in range(multi_cap + 1):
+                for combo in itertools.product(repetitions, repeat=k):
+                    yield tuple(itertools.chain.from_iterable(combo))
+            return
+        raise AssertionError(node.kind)
+
+    results: List[N.Node] = []
+    seen = set()
+    for sequence in gen(tree):
+        if len(sequence) != 1:
+            continue
+        ast = sequence[0]
+        if ast not in seen:
+            seen.add(ast)
+            results.append(ast)
+        if len(results) >= limit:
+            break
+    return results

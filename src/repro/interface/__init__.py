@@ -1,0 +1,12 @@
+"""Interface artifacts: rendering and the interaction runtime."""
+
+from .render import render_ascii, render_html
+from .runtime import InteractionError, InterfaceSession, instantiate
+
+__all__ = [
+    "render_ascii",
+    "render_html",
+    "InterfaceSession",
+    "InteractionError",
+    "instantiate",
+]

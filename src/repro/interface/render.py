@@ -1,0 +1,173 @@
+"""Rendering widget trees: ASCII boxes and static HTML.
+
+The ASCII renderer draws the layout hierarchy (the blue bounding boxes of
+paper Figure 2) in monospace text; the HTML renderer emits a
+self-contained page with real form controls, the offline substitute for
+the paper's web front-end.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List
+
+from ..widgets.tree import WidgetNode
+
+_ICONS = {
+    "dropdown": "▾",
+    "slider": "◈",
+    "range_slider": "◈◈",
+    "toggle": "⊙",
+    "checkbox": "☐",
+    "textbox": "⌨",
+    "buttons": "▭",
+    "radio": "◉",
+    "tabs": "⧉",
+    "adder": "+",
+    "label": "·",
+}
+
+
+def render_ascii(node: WidgetNode, width: int = 72) -> str:
+    """Render the widget tree as nested ASCII boxes."""
+    lines = _render_lines(node)
+    return "\n".join(lines)
+
+
+def _render_lines(node: WidgetNode) -> List[str]:
+    name = node.widget
+    if name in ("vertical", "horizontal"):
+        child_blocks = [_render_lines(c) for c in node.children]
+        if name == "vertical":
+            inner: List[str] = []
+            for i, block in enumerate(child_blocks):
+                if i:
+                    inner.append("")
+                inner.extend(block)
+        else:
+            inner = _side_by_side(child_blocks)
+        return _boxed(inner, title=node.title)
+    if name == "tabs":
+        header = " | ".join(
+            f"[{c.title or f'tab{i}'}]" for i, c in enumerate(node.children)
+        )
+        inner = [header, "-" * max(8, len(header))]
+        if node.children:
+            inner.extend(_render_lines(node.children[0]))
+            hidden = len(node.children) - 1
+            if hidden:
+                inner.append(f"(... {hidden} more tab{'s' if hidden > 1 else ''})")
+        return _boxed(inner, title=node.title or "tabs")
+    if name == "adder":
+        inner = ["[+ add] [- remove]"]
+        for child in node.children:
+            inner.extend(_render_lines(child))
+        return _boxed(inner, title=node.title or "repeat")
+    # Interaction widget leaf.
+    icon = _ICONS.get(name, "?")
+    caption = f"{node.title}: " if node.title else ""
+    if node.domain is not None and node.domain.labels and name != "adder":
+        shown = list(node.domain.labels[:4])
+        suffix = " …" if len(node.domain.labels) > 4 else ""
+        options = " / ".join(shown) + suffix
+        body = f"{icon} {caption}{name}<{options}>"
+    else:
+        body = f"{icon} {caption}{name}"
+    size_tag = f" ({node.size_class})" if node.size_class != "M" else ""
+    return [body + size_tag]
+
+
+def _boxed(lines: List[str], title: str = "") -> List[str]:
+    content_w = max([len(line) for line in lines] + [len(title) + 2, 4])
+    top = f"+-{title}" + "-" * (content_w - len(title) - 1) + "+"
+    out = [top]
+    out.extend(f"| {line.ljust(content_w)}|" for line in lines)
+    out.append("+" + "-" * (content_w + 1) + "+")
+    return out
+
+
+def _side_by_side(blocks: List[List[str]], gap: str = "  ") -> List[str]:
+    if not blocks:
+        return []
+    heights = [len(b) for b in blocks]
+    widths = [max((len(line) for line in b), default=0) for b in blocks]
+    rows = max(heights)
+    out = []
+    for r in range(rows):
+        cells = []
+        for block, w in zip(blocks, widths):
+            cell = block[r] if r < len(block) else ""
+            cells.append(cell.ljust(w))
+        out.append(gap.join(cells).rstrip())
+    return out
+
+
+# -- HTML ------------------------------------------------------------------------
+
+
+def render_html(node: WidgetNode, title: str = "Generated interface") -> str:
+    """Self-contained static HTML page for the widget tree."""
+    body = _html_node(node)
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{html.escape(title)}</title>
+<style>
+body {{ font-family: sans-serif; margin: 16px; }}
+.box {{ border: 1px solid #7aa5d2; border-radius: 4px; padding: 8px; margin: 4px; }}
+.horizontal {{ display: flex; flex-direction: row; gap: 8px; align-items: flex-start; }}
+.vertical {{ display: flex; flex-direction: column; gap: 8px; }}
+.widget {{ margin: 2px; }}
+.caption {{ font-size: 11px; color: #555; display: block; }}
+.tabbar button {{ margin-right: 4px; }}
+</style></head>
+<body><h3>{html.escape(title)}</h3>
+{body}
+</body></html>"""
+
+
+def _html_node(node: WidgetNode) -> str:
+    name = node.widget
+    caption = (
+        f'<span class="caption">{html.escape(node.title)}</span>' if node.title else ""
+    )
+    if name in ("vertical", "horizontal"):
+        inner = "\n".join(_html_node(c) for c in node.children)
+        return f'<div class="box {name}">{caption}{inner}</div>'
+    if name == "tabs":
+        bar = "".join(
+            f"<button>{html.escape(c.title or f'tab {i}')}</button>"
+            for i, c in enumerate(node.children)
+        )
+        first = _html_node(node.children[0]) if node.children else ""
+        return (
+            f'<div class="box vertical">{caption}'
+            f'<div class="tabbar">{bar}</div>{first}</div>'
+        )
+    if name == "adder":
+        inner = "\n".join(_html_node(c) for c in node.children)
+        return (
+            f'<div class="box vertical">{caption}'
+            f"<div><button>+ add</button><button>- remove</button></div>"
+            f"{inner}</div>"
+        )
+    labels = list(node.domain.labels) if node.domain is not None else []
+    if name == "dropdown":
+        options = "".join(f"<option>{html.escape(l)}</option>" for l in labels)
+        control = f"<select>{options}</select>"
+    elif name == "radio":
+        control = "<br>".join(
+            f'<label><input type="radio" name="r{id(node)}"> {html.escape(l)}</label>'
+            for l in labels
+        )
+    elif name == "buttons":
+        control = "".join(f"<button>{html.escape(l)}</button>" for l in labels)
+    elif name == "slider":
+        control = '<input type="range">'
+    elif name == "range_slider":
+        control = '<input type="range"><input type="range">'
+    elif name == "textbox":
+        control = '<input type="text">'
+    elif name in ("toggle", "checkbox"):
+        control = '<label><input type="checkbox"> on/off</label>'
+    else:
+        control = html.escape(node.title or name)
+    return f'<div class="widget">{caption}{control}</div>'

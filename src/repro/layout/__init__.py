@@ -1,0 +1,14 @@
+"""Layout solving: bounding boxes and screen constraints."""
+
+from .boxes import BOX_GAP, BOX_PADDING, Box, Screen, fits, measure, measure_all, overflow
+
+__all__ = [
+    "Box",
+    "Screen",
+    "measure",
+    "measure_all",
+    "fits",
+    "overflow",
+    "BOX_GAP",
+    "BOX_PADDING",
+]

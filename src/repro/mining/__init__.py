@@ -1,0 +1,5 @@
+"""Bottom-up mining baseline (Zhang, Sellam & Wu 2017)."""
+
+from .zhang2017 import MiningResult, evaluate_mined, mine_interface
+
+__all__ = ["MiningResult", "mine_interface", "evaluate_mined"]

@@ -1,0 +1,63 @@
+"""Difftree transformation rules (paper Figure 5) and the rule engine."""
+
+from typing import Optional, Sequence
+
+from .base import Move, Rule, RuleEngine
+from .distribute import DistributeRule
+from .factor import Any2AllRule, LiftRule, align_alternative_children
+from .multi import MultiMergeRule
+from .optional import OptionalRule, UnOptionalRule
+
+#: Rule names in the default engine, in application-priority order.
+DEFAULT_RULE_NAMES = (
+    "Lift",
+    "Any2All",
+    "Optional",
+    "Multi",
+    "UnOptional",
+    "Distribute",
+)
+
+
+def default_engine(exclude: Optional[Sequence[str]] = None) -> RuleEngine:
+    """The full rule set of the paper (both directions).
+
+    Args:
+        exclude: rule names to leave out (used by the rule-family ablation).
+    """
+    rules = [
+        LiftRule(),
+        Any2AllRule(),
+        OptionalRule(),
+        MultiMergeRule(),
+        UnOptionalRule(),
+        DistributeRule(),
+    ]
+    if exclude:
+        missing = set(exclude) - {r.name for r in rules}
+        if missing:
+            raise ValueError(f"unknown rule names: {sorted(missing)}")
+        rules = [r for r in rules if r.name not in set(exclude)]
+    return RuleEngine(rules)
+
+
+def forward_engine() -> RuleEngine:
+    """Only the compressing (forward) rules — used by the greedy baseline."""
+    return default_engine(exclude=("UnOptional", "Distribute"))
+
+
+__all__ = [
+    "Move",
+    "Rule",
+    "RuleEngine",
+    "LiftRule",
+    "Any2AllRule",
+    "OptionalRule",
+    "UnOptionalRule",
+    "MultiMergeRule",
+    "DistributeRule",
+    "align_alternative_children",
+    "default_engine",
+    "forward_engine",
+    "DEFAULT_RULE_NAMES",
+]

@@ -1,0 +1,170 @@
+"""Rule engine: transformation rules over difftrees (paper Figure 5).
+
+A :class:`Rule` pattern-matches difftree nodes and produces rewritten
+subtrees.  A :class:`Move` is one concrete application (rule + path +
+parameters).  The :class:`RuleEngine` enumerates every applicable move of
+a state — the state's *fanout* in the search graph — and applies moves,
+normalizing the result so trivially-equivalent states coincide.
+
+Every rule preserves expressibility of the input queries: the set of
+queries a difftree expresses never loses a member under any move.  This
+invariant is what lets MCTS roam the space freely; it is checked by the
+property tests in ``tests/test_rules_properties.py``.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..difftree import DTNode, Path, normalize
+from ..difftree.normalize import normalize_shallow
+
+
+@dataclass(frozen=True)
+class Move:
+    """One concrete rule application.
+
+    Attributes:
+        rule_name: the rule's identifier.
+        path: difftree path of the node the rule rewrites.
+        params: rule-specific parameters (e.g. which slot to distribute,
+            which run of siblings to merge), as a hashable tuple of pairs.
+    """
+
+    rule_name: str
+    path: Path
+    params: Tuple[Tuple[str, Any], ...] = field(default=())
+
+    def param(self, name: str, default: Any = None) -> Any:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def __str__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        suffix = f" [{params}]" if params else ""
+        return f"{self.rule_name}@{'/'.join(map(str, self.path)) or 'root'}{suffix}"
+
+
+class Rule(abc.ABC):
+    """A difftree transformation rule."""
+
+    #: Unique rule identifier (class attribute).
+    name: str = ""
+
+    @abc.abstractmethod
+    def moves_at(self, node: DTNode, path: Path) -> Iterator[Move]:
+        """Yield every application of this rule rooted at ``node``."""
+
+    @abc.abstractmethod
+    def rewrite(self, node: DTNode, move: Move) -> DTNode:
+        """Return the rewritten subtree for a move this rule produced."""
+
+
+def _replace_normalized(tree: DTNode, path: Path, new: DTNode) -> DTNode:
+    """Replace the subtree at ``path`` and renormalize the spine."""
+    if not path:
+        return new
+    index = path[0]
+    child = _replace_normalized(tree.children[index], path[1:], new)
+    children = tree.children[:index] + (child,) + tree.children[index + 1 :]
+    return normalize_shallow(tree, children)
+
+
+class RuleEngine:
+    """Enumerates and applies moves over whole difftrees."""
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names: {names}")
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+        self._by_name: Dict[str, Rule] = {rule.name: rule for rule in rules}
+
+    def rule(self, name: str) -> Rule:
+        return self._by_name[name]
+
+    def moves(self, tree: DTNode) -> List[Move]:
+        """Every applicable move anywhere in ``tree`` (the state fanout)."""
+        out: List[Move] = []
+        for path, node in tree.walk_paths():
+            for rule in self.rules:
+                out.extend(rule.moves_at(node, path))
+        return out
+
+    def apply(self, tree: DTNode, move: Move) -> DTNode:
+        """Apply ``move`` to ``tree`` and return the normalized result.
+
+        Only the rewritten subtree is fully normalized; the spine from the
+        rewrite site to the root is renormalized shallowly (everything off
+        the spine was already normalized), so an application costs
+        O(subtree + depth) instead of O(tree).
+        """
+        rule = self._by_name[move.rule_name]
+        target = tree.at(move.path)
+        rewritten = normalize(rule.rewrite(target, move))
+        return _replace_normalized(tree, move.path, rewritten)
+
+    def neighbors(self, tree: DTNode) -> List[Tuple[Move, DTNode]]:
+        """All (move, successor-state) pairs, deduplicated by state.
+
+        Self-loops (moves that normalize back to the same state) are
+        dropped.
+        """
+        seen = {tree.canonical_key}
+        out: List[Tuple[Move, DTNode]] = []
+        for move in self.moves(tree):
+            successor = self.apply(tree, move)
+            key = successor.canonical_key
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append((move, successor))
+        return out
+
+    def fanout(self, tree: DTNode) -> int:
+        """Number of applicable moves (the paper's fanout statistic)."""
+        return len(self.moves(tree))
+
+    def random_move(
+        self,
+        tree: DTNode,
+        rng: random.Random,
+        rule_names: Optional[Sequence[str]] = None,
+    ) -> Optional[Move]:
+        """Sample one applicable move without enumerating all of them.
+
+        Random-walk simulations take hundreds of steps; enumerating the
+        full move set (O(nodes × rules)) at every step dominates the
+        search runtime.  Sampling a node first and then a rule keeps a
+        walk step near-constant-time.  The distribution is uniform over
+        nodes rather than over moves — fine for rollouts, which only need
+        diversity, not exactness.  Falls back to full enumeration when
+        sampling keeps missing (sparsely applicable states).
+        """
+        paths = [path for path, _ in tree.walk_paths()]
+        if rule_names is None:
+            rules = list(self.rules)
+        else:
+            rules = [r for r in self.rules if r.name in set(rule_names)]
+            if not rules:
+                return None
+        for _ in range(4 * len(paths)):
+            path = rng.choice(paths)
+            node = tree.at(path)
+            rule = rng.choice(rules)
+            moves = list(rule.moves_at(node, path))
+            if moves:
+                return rng.choice(moves)
+        moves = [
+            m
+            for m in self.moves(tree)
+            if rule_names is None or m.rule_name in set(rule_names)
+        ]
+        if not moves:
+            return None
+        return rng.choice(moves)

@@ -1,0 +1,56 @@
+"""``Distribute`` — the inverse direction of ``Any2All``/``Lift``.
+
+The paper's factoring rules are bidirectional; this rule is the downward
+arrow.  Given an ``ALL`` node with a choice child, it pushes the ``ALL``
+inside the choice, enumerating one concrete ``ALL`` variant per
+alternative::
+
+    ALL_h(a, ANY[x, y], b)  →  ANY[ALL_h(a, x, b), ALL_h(a, y, b)]
+    ALL_h(a, OPT[x],  b)  →  ANY[ALL_h(a, b), ALL_h(a, x, b)]
+
+An ``EMPTY`` alternative simply drops the slot in its variant.  Distribute
+lets the search *undo* an over-eager factoring — e.g. to regroup
+differences at a coarser granularity (whole-query buttons instead of
+per-literal widgets).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..difftree import ANY, EMPTY, OPT, DTNode, Path, any_node
+from ..difftree.dtnodes import ALL, EMPTY_NODE
+from .base import Move, Rule
+
+
+class DistributeRule(Rule):
+    """Push an ``ALL`` head into one chosen choice-child."""
+
+    name = "Distribute"
+
+    def moves_at(self, node: DTNode, path: Path) -> Iterator[Move]:
+        if node.kind != ALL:
+            return
+        for index, child in enumerate(node.children):
+            if child.kind in (ANY, OPT):
+                yield Move(self.name, path, (("slot", index),))
+
+    def rewrite(self, node: DTNode, move: Move) -> DTNode:
+        index = move.param("slot")
+        child = node.children[index]
+        if child.kind == ANY:
+            alternatives = child.children
+        elif child.kind == OPT:
+            alternatives = (EMPTY_NODE, child.children[0])
+        else:  # pragma: no cover - guarded by moves_at
+            raise ValueError(f"cannot distribute over {child.kind}")
+        variants: List[DTNode] = []
+        for alt in alternatives:
+            if alt.kind == EMPTY:
+                new_children = node.children[:index] + node.children[index + 1 :]
+            else:
+                new_children = (
+                    node.children[:index] + (alt,) + node.children[index + 1 :]
+                )
+            variants.append(DTNode(ALL, node.label, node.value, new_children))
+        return any_node(variants)

@@ -1,0 +1,148 @@
+"""Factoring rules: ``Any2All`` and ``Lift`` (paper Figure 5, left column).
+
+Both rules act on an ``ANY`` node whose alternatives share the same root
+head.  They pull the shared structure above the choice, shrinking the
+choice to just the parts that actually differ:
+
+* ``Lift`` handles the chain case — every alternative is an ``ALL`` with
+  exactly one child: ``ANY[h(x), h(y)] → h(ANY[x, y])``.
+* ``Any2All`` handles the general case — alternatives have multiple
+  children which are aligned into columns:
+  ``ANY[ALL_h(x,y,z), ALL_h(x',y')] → ALL_h(ANY[x,x'], ANY[y,y'], ANY[z,∅])``.
+  A column missing in some alternative gains an ``EMPTY`` choice, which
+  the ``Optional`` rule can later turn into an ``OPT``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..difftree import ANY, EMPTY_NODE, DTNode, Path, all_node, any_node
+from ..difftree.dtnodes import ALL
+from .base import Move, Rule
+
+
+def _common_head(node: DTNode) -> Optional[Tuple[str, Any]]:
+    """The shared ``(label, value)`` head of an ANY's alternatives, if any."""
+    if node.kind != ANY:
+        return None
+    heads = set()
+    for alt in node.children:
+        if alt.kind != ALL:
+            return None
+        heads.add(alt.head)
+    if len(heads) != 1:
+        return None
+    return heads.pop()
+
+
+def align_alternative_children(
+    alternatives: Tuple[DTNode, ...],
+) -> Optional[List[List[Optional[DTNode]]]]:
+    """Align the child lists of several same-head ``ALL`` alternatives.
+
+    Children are keyed by :meth:`DTNode.align_key`; the per-alternative key
+    orders are merged into one global order.  When key-based alignment
+    fails (keys repeat within an alternative — e.g. the four ``BETWEEN``
+    conjuncts of the SDSS log's WHERE clauses — or appear in conflicting
+    orders) but every alternative has the same number of children, falls
+    back to *positional* alignment, which is always
+    expressibility-preserving: choosing column ``i`` of row ``r`` for
+    every slot reproduces row ``r``.  Returns ``None`` when neither
+    strategy applies.
+    """
+    arities = {len(alt.children) for alt in alternatives}
+    keyed = _key_alignment(alternatives)
+    if keyed is not None:
+        return keyed
+    if len(arities) == 1:
+        arity = arities.pop()
+        if arity == 0:
+            return None
+        return [
+            [alt.children[i] for alt in alternatives] for i in range(arity)
+        ]
+    return None
+
+
+def _key_alignment(
+    alternatives: Tuple[DTNode, ...],
+) -> Optional[List[List[Optional[DTNode]]]]:
+    keyed_rows = []
+    for alt in alternatives:
+        keyed = [(child.align_key(), child) for child in alt.children]
+        keys = [k for k, _ in keyed]
+        if len(set(keys)) != len(keys):
+            return None
+        keyed_rows.append(keyed)
+
+    order: List[Tuple[str, Any]] = []
+    for keyed in keyed_rows:
+        position = 0
+        for key, _ in keyed:
+            if key in order:
+                existing = order.index(key)
+                if existing < position:
+                    return None
+                position = existing + 1
+            else:
+                order.insert(position, key)
+                position += 1
+
+    columns: List[List[Optional[DTNode]]] = []
+    for key in order:
+        column = []
+        for keyed in keyed_rows:
+            column.append(next((c for k, c in keyed if k == key), None))
+        columns.append(column)
+    return columns
+
+
+class LiftRule(Rule):
+    """``ANY[h(x), h(y), …] → h(ANY[x, y, …])`` for single-child heads."""
+
+    name = "Lift"
+
+    def moves_at(self, node: DTNode, path: Path) -> Iterator[Move]:
+        head = _common_head(node)
+        if head is None:
+            return
+        if all(len(alt.children) == 1 for alt in node.children):
+            yield Move(self.name, path)
+
+    def rewrite(self, node: DTNode, move: Move) -> DTNode:
+        label, value = _common_head(node)
+        inner = any_node([alt.children[0] for alt in node.children])
+        return all_node(label, value, (inner,))
+
+
+class Any2AllRule(Rule):
+    """General factoring of an ``ANY`` of same-head ``ALL`` alternatives.
+
+    Skips the all-single-child case (that is exactly ``Lift``) and leafy
+    alternatives with no children at all (nothing to factor).
+    """
+
+    name = "Any2All"
+
+    def moves_at(self, node: DTNode, path: Path) -> Iterator[Move]:
+        head = _common_head(node)
+        if head is None:
+            return
+        arities = {len(alt.children) for alt in node.children}
+        if arities == {1} or arities == {0}:
+            return
+        if align_alternative_children(node.children) is None:
+            return
+        yield Move(self.name, path)
+
+    def rewrite(self, node: DTNode, move: Move) -> DTNode:
+        label, value = _common_head(node)
+        columns = align_alternative_children(node.children)
+        if columns is None:  # pragma: no cover - guarded by moves_at
+            raise ValueError("Any2All applied to unalignable alternatives")
+        slots = []
+        for column in columns:
+            alternatives = [c if c is not None else EMPTY_NODE for c in column]
+            slots.append(any_node(alternatives))
+        return all_node(label, value, tuple(slots))

@@ -1,0 +1,48 @@
+"""``Optional`` rule and its inverse (paper Figure 5, right column).
+
+``ANY[∅, z, …]`` and ``OPT[…]`` express the same queries but render as
+different widgets: the former is e.g. a dropdown with a "(none)" entry,
+the latter a toggle/checkbox guarding the inner widgets.  Keeping both
+directions as explicit moves lets the search trade those interfaces off
+under the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..difftree import ANY, EMPTY, OPT, DTNode, Path, any_node, opt_node
+from ..difftree.dtnodes import EMPTY_NODE
+from .base import Move, Rule
+
+
+class OptionalRule(Rule):
+    """``ANY[∅, z] → OPT[z]``; ``ANY[∅, a, b] → OPT[ANY[a, b]]``."""
+
+    name = "Optional"
+
+    def moves_at(self, node: DTNode, path: Path) -> Iterator[Move]:
+        if node.kind != ANY:
+            return
+        if any(alt.kind == EMPTY for alt in node.children):
+            yield Move(self.name, path)
+
+    def rewrite(self, node: DTNode, move: Move) -> DTNode:
+        rest = [alt for alt in node.children if alt.kind != EMPTY]
+        if not rest:  # pragma: no cover - normalization removes ANY[∅]
+            return EMPTY_NODE
+        inner = rest[0] if len(rest) == 1 else any_node(rest)
+        return opt_node(inner)
+
+
+class UnOptionalRule(Rule):
+    """``OPT[z] → ANY[∅, z]`` (inverse direction)."""
+
+    name = "UnOptional"
+
+    def moves_at(self, node: DTNode, path: Path) -> Iterator[Move]:
+        if node.kind == OPT:
+            yield Move(self.name, path)
+
+    def rewrite(self, node: DTNode, move: Move) -> DTNode:
+        return any_node([EMPTY_NODE, node.children[0]])

@@ -1,0 +1,19 @@
+"""Search strategies: MCTS (the paper's contribution) and baselines."""
+
+from .baselines import beam_search, exhaustive_search, greedy_search, random_search
+from .common import SearchResult, SearchStats, StateEvaluator, normalized_reward
+from .mcts import MCTS, MCTSConfig, mcts_search
+
+__all__ = [
+    "MCTS",
+    "MCTSConfig",
+    "mcts_search",
+    "random_search",
+    "greedy_search",
+    "beam_search",
+    "exhaustive_search",
+    "SearchResult",
+    "SearchStats",
+    "StateEvaluator",
+    "normalized_reward",
+]

@@ -1,0 +1,220 @@
+"""Search baselines MCTS is compared against.
+
+* :func:`random_search` — repeated random walks, keep the best state seen.
+  Same move set, no statistics: isolates the value of UCT guidance.
+* :func:`greedy_search` — steepest-descent hill climbing on state cost
+  with optional random restarts; gets stuck in local minima the paper's
+  bidirectional rules are designed to escape.
+* :func:`beam_search` — breadth-limited systematic search.
+* :func:`exhaustive_search` — full BFS with state dedup up to a cap; the
+  exact optimum within its horizon, tractable only for tiny logs (used to
+  validate MCTS answer quality in tests).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Optional
+
+from ..cost import CostModel
+from ..difftree import DTNode
+from ..rules import RuleEngine, default_engine
+from .common import SearchResult, StateEvaluator
+
+
+def random_search(
+    model: CostModel,
+    initial: DTNode,
+    engine: Optional[RuleEngine] = None,
+    time_budget_s: float = 5.0,
+    max_walk_steps: int = 200,
+    k_assignments: int = 5,
+    seed: int = 0,
+    final_cap: int = 4000,
+) -> SearchResult:
+    """Random walks from the initial state; evaluate every visited state."""
+    engine = engine or default_engine()
+    rng = random.Random(seed)
+    evaluator = StateEvaluator(model, k_assignments=k_assignments, seed=seed)
+    evaluator.restart_clock()
+    start = time.perf_counter()
+    evaluator.evaluate(initial)
+    while time.perf_counter() - start < time_budget_s:
+        current = initial
+        for _ in range(max_walk_steps):
+            if time.perf_counter() - start >= time_budget_s:
+                break
+            move = engine.random_move(current, rng)
+            if move is None:
+                break
+            current = engine.apply(current, move)
+            evaluator.evaluate(current)
+            evaluator.stats.walk_steps += 1
+        evaluator.stats.iterations += 1
+    best = evaluator.finalize(final_cap=final_cap)
+    return SearchResult(
+        best=best,
+        best_state=best.tree,
+        history=list(evaluator.history),
+        stats=evaluator.stats,
+        elapsed=evaluator.elapsed,
+        strategy="random",
+    )
+
+
+def greedy_search(
+    model: CostModel,
+    initial: DTNode,
+    engine: Optional[RuleEngine] = None,
+    time_budget_s: float = 5.0,
+    k_assignments: int = 5,
+    restarts: int = 0,
+    restart_walk: int = 4,
+    seed: int = 0,
+    final_cap: int = 4000,
+) -> SearchResult:
+    """Steepest-descent hill climbing with optional random restarts.
+
+    Each restart first takes ``restart_walk`` random steps away from the
+    initial state before descending again.
+    """
+    engine = engine or default_engine()
+    rng = random.Random(seed)
+    evaluator = StateEvaluator(model, k_assignments=k_assignments, seed=seed)
+    evaluator.restart_clock()
+    start = time.perf_counter()
+
+    def descend(state: DTNode) -> None:
+        current = state
+        current_cost = evaluator.evaluate(current).cost
+        while time.perf_counter() - start < time_budget_s:
+            neighbors = engine.neighbors(current)
+            evaluator.stats.max_fanout = max(
+                evaluator.stats.max_fanout, len(neighbors)
+            )
+            best_state = None
+            best_cost = current_cost
+            for _, successor in neighbors:
+                cost = evaluator.evaluate(successor).cost
+                if cost < best_cost:
+                    best_cost = cost
+                    best_state = successor
+            if best_state is None:
+                return
+            current, current_cost = best_state, best_cost
+            evaluator.stats.iterations += 1
+
+    descend(initial)
+    for _ in range(restarts):
+        if time.perf_counter() - start >= time_budget_s:
+            break
+        state = initial
+        for _ in range(restart_walk):
+            moves = engine.moves(state)
+            if not moves:
+                break
+            state = engine.apply(state, rng.choice(moves))
+        descend(state)
+    best = evaluator.finalize(final_cap=final_cap)
+    return SearchResult(
+        best=best,
+        best_state=best.tree,
+        history=list(evaluator.history),
+        stats=evaluator.stats,
+        elapsed=evaluator.elapsed,
+        strategy="greedy",
+    )
+
+
+def beam_search(
+    model: CostModel,
+    initial: DTNode,
+    engine: Optional[RuleEngine] = None,
+    beam_width: int = 8,
+    max_depth: int = 30,
+    time_budget_s: float = 10.0,
+    k_assignments: int = 5,
+    seed: int = 0,
+    final_cap: int = 4000,
+) -> SearchResult:
+    """Keep the ``beam_width`` cheapest states at each depth."""
+    engine = engine or default_engine()
+    evaluator = StateEvaluator(model, k_assignments=k_assignments, seed=seed)
+    evaluator.restart_clock()
+    start = time.perf_counter()
+    beam = [initial]
+    seen = {initial.canonical_key}
+    evaluator.evaluate(initial)
+    for depth in range(max_depth):
+        if time.perf_counter() - start >= time_budget_s:
+            break
+        candidates = []
+        for state in beam:
+            for _, successor in engine.neighbors(state):
+                key = successor.canonical_key
+                if key in seen:
+                    continue
+                seen.add(key)
+                cost = evaluator.evaluate(successor).cost
+                candidates.append((cost, key, successor))
+        if not candidates:
+            break
+        candidates.sort(key=lambda item: (item[0], item[1]))
+        beam = [state for _, _, state in candidates[:beam_width]]
+        evaluator.stats.iterations += 1
+        evaluator.stats.max_depth = depth + 1
+    best = evaluator.finalize(final_cap=final_cap)
+    return SearchResult(
+        best=best,
+        best_state=best.tree,
+        history=list(evaluator.history),
+        stats=evaluator.stats,
+        elapsed=evaluator.elapsed,
+        strategy="beam",
+    )
+
+
+def exhaustive_search(
+    model: CostModel,
+    initial: DTNode,
+    engine: Optional[RuleEngine] = None,
+    max_states: int = 2000,
+    k_assignments: int = 5,
+    seed: int = 0,
+    final_cap: int = 4000,
+) -> SearchResult:
+    """BFS over the whole (deduplicated) state space, up to ``max_states``.
+
+    Exact within its horizon; used on tiny logs to validate that MCTS
+    finds the true optimum.
+    """
+    engine = engine or default_engine()
+    evaluator = StateEvaluator(model, k_assignments=k_assignments, seed=seed)
+    evaluator.restart_clock()
+    queue = [initial]
+    seen = {initial.canonical_key}
+    evaluator.evaluate(initial)
+    index = 0
+    while index < len(queue) and len(seen) < max_states:
+        state = queue[index]
+        index += 1
+        neighbors = engine.neighbors(state)
+        evaluator.stats.max_fanout = max(evaluator.stats.max_fanout, len(neighbors))
+        for _, successor in neighbors:
+            key = successor.canonical_key
+            if key in seen:
+                continue
+            seen.add(key)
+            evaluator.evaluate(successor)
+            queue.append(successor)
+        evaluator.stats.iterations += 1
+    best = evaluator.finalize(final_cap=final_cap)
+    return SearchResult(
+        best=best,
+        best_state=best.tree,
+        history=list(evaluator.history),
+        stats=evaluator.stats,
+        elapsed=evaluator.elapsed,
+        strategy="exhaustive",
+    )

@@ -1,0 +1,121 @@
+"""Shared search infrastructure: state evaluation cache and results.
+
+Every search strategy (MCTS and the baselines) scores difftree states the
+same way — best of ``k`` sampled widget assignments under the cost model —
+so they are comparable head-to-head.  The :class:`StateEvaluator` caches
+those scores by canonical state key, and a :class:`SearchResult` records
+the winner plus a convergence history for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..cost import CostModel, EvaluatedInterface, exhaustive_evaluation, sampled_evaluation
+from ..difftree import DTNode
+
+
+@dataclass
+class SearchStats:
+    """Counters shared by all strategies."""
+
+    iterations: int = 0
+    states_evaluated: int = 0
+    states_expanded: int = 0
+    walk_steps: int = 0
+    max_fanout: int = 0
+    max_depth: int = 0
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search run.
+
+    Attributes:
+        best: the final optimized interface (widget tree + cost).
+        best_state: the winning difftree.
+        history: ``(elapsed_seconds, best_cost_so_far)`` samples recorded
+            every time the incumbent improves.
+        stats: counters (iterations, evaluations, fanout, …).
+        elapsed: total wall-clock seconds.
+        strategy: name of the search strategy that produced this result.
+    """
+
+    best: EvaluatedInterface
+    best_state: DTNode
+    history: List[Tuple[float, float]]
+    stats: SearchStats
+    elapsed: float
+    strategy: str
+
+    @property
+    def best_cost(self) -> float:
+        return self.best.cost
+
+
+class StateEvaluator:
+    """Caches sampled state costs; tracks the global incumbent."""
+
+    def __init__(
+        self,
+        model: CostModel,
+        k_assignments: int = 5,
+        seed: int = 0,
+    ) -> None:
+        self.model = model
+        self.k_assignments = k_assignments
+        self.rng = random.Random(seed)
+        self._cache: Dict[str, EvaluatedInterface] = {}
+        self.best: Optional[EvaluatedInterface] = None
+        self.history: List[Tuple[float, float]] = []
+        self._clock_start = time.perf_counter()
+        self.stats = SearchStats()
+
+    def restart_clock(self) -> None:
+        self._clock_start = time.perf_counter()
+        self.history = []
+
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._clock_start
+
+    def evaluate(self, state: DTNode) -> EvaluatedInterface:
+        """Sampled cost of a state (cached; updates the incumbent)."""
+        key = state.canonical_key
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        evaluated = sampled_evaluation(
+            self.model, state, k=self.k_assignments, rng=self.rng
+        )
+        if len(self._cache) > 100_000:
+            self._cache.clear()
+        self._cache[key] = evaluated
+        self.stats.states_evaluated += 1
+        if self.best is None or evaluated.rank < self.best.rank:
+            self.best = evaluated
+            self.history.append((self.elapsed, evaluated.cost))
+        return evaluated
+
+    def finalize(self, final_cap: int = 4000) -> EvaluatedInterface:
+        """Paper's final phase: thorough widget optimization of the winner."""
+        if self.best is None:
+            raise RuntimeError("no state was evaluated")
+        optimized = exhaustive_evaluation(self.model, self.best.tree, cap=final_cap)
+        if optimized.rank < self.best.rank:
+            self.best = optimized
+            self.history.append((self.elapsed, optimized.cost))
+        return self.best
+
+
+def normalized_reward(cost: float, best: float, worst: float) -> float:
+    """Map a cost onto [0, 1] rewards (1 = best seen, 0 = worst/infeasible)."""
+    if math.isinf(cost):
+        return 0.0
+    if worst <= best:
+        return 1.0
+    return max(0.0, min(1.0, (worst - cost) / (worst - best)))

@@ -1,0 +1,278 @@
+"""Monte Carlo Tree Search over difftree states (the paper's search).
+
+Faithful to the paper's description:
+
+* UCT score per visited state: ``w/n + c·sqrt(ln N_parent / n)``.
+* Each iteration picks the frontier state with the highest UCT, expands
+  *all* of its immediate neighbor states, and performs one random walk of
+  up to ``max_walk_steps`` (paper: 200) from each neighbor.
+* The reward of a walk is the negated cost of its final state — we map
+  costs onto [0, 1] with adaptive normalization so the exploration term
+  stays on a comparable scale — and is backpropagated to every state on
+  the path to the root.
+* State costs are estimated by the best of ``k`` random widget
+  assignments (greedy-seeded).
+* The search stops on a wall-clock budget (paper: ~1 minute) or an
+  iteration cap; the best difftree then receives an exhaustive widget
+  enumeration pass.
+
+States are deduplicated by canonical key (a transposition table), so the
+UCT statistics of a state reached along two rewrite orders are shared.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cost import CostModel
+from ..difftree import DTNode
+from ..rules import RuleEngine, default_engine
+from .common import SearchResult, StateEvaluator, normalized_reward
+
+#: The compressing (forward) rules used by the biased rollout policy.
+_FORWARD_RULES = ("Lift", "Any2All", "Optional", "Multi")
+
+
+@dataclass(frozen=True)
+class MCTSConfig:
+    """Tunables of the MCTS search (paper defaults where stated).
+
+    Attributes:
+        exploration_c: UCT exploration constant ``c``.
+        max_walk_steps: random-walk cap per simulation (paper: 200).
+        k_assignments: widget-assignment samples per state reward
+            (the paper's ``k``).
+        time_budget_s: wall-clock stop (paper: ~60 s; benches use less).
+        max_iterations: hard iteration cap (0 = unlimited).
+        walk_stop_prob: per-step probability of ending a walk early —
+            keeps expected walk length well below the cap on states whose
+            neighborhoods never dry up (bidirectional rules).
+        max_children: expansion samples at most this many neighbors when
+            a state's fanout explodes (mid-space fanouts reach the
+            hundreds); the rest remain reachable via later re-expansion
+            of their siblings.
+        rollouts_per_expansion: at most this many of the new children get
+            a random-walk simulation per iteration (every child is still
+            directly evaluated).  The paper simulates from *all*
+            neighbors with a ~60 s budget; capping keeps iterations
+            cheap enough for second-scale budgets.
+        rollout_forward_bias: probability that a rollout step samples
+            only the *compressing* rules (Lift/Any2All/Optional/Multi).
+            With the bidirectional rule set, unbiased walks are dominated
+            by Distribute moves (hundreds per state) and rarely visit the
+            well-factored region; biasing the rollout policy — a standard
+            informed-rollout technique — restores signal while keeping
+            inverse moves available for escaping local structure.
+        walk_eval_prob: probability of also evaluating an *intermediate*
+            walk state (the paper scores only the final state; sampling a
+            few interior states lets the incumbent catch good states a
+            walk merely passes through).
+        seed: RNG seed; fixed seed ⇒ reproducible searches.
+        final_cap: widget-enumeration cap for the final phase.
+    """
+
+    exploration_c: float = 1.4
+    max_walk_steps: int = 200
+    k_assignments: int = 5
+    time_budget_s: float = 5.0
+    max_iterations: int = 0
+    walk_stop_prob: float = 0.03
+    rollout_forward_bias: float = 0.75
+    walk_eval_prob: float = 0.3
+    max_children: int = 24
+    rollouts_per_expansion: int = 6
+    seed: int = 0
+    final_cap: int = 4000
+
+
+@dataclass
+class _TreeNode:
+    state: DTNode
+    parent_key: Optional[str]
+    visits: int = 0
+    reward_sum: float = 0.0
+    expanded: bool = False
+    depth: int = 0
+
+    def mean_reward(self) -> float:
+        return self.reward_sum / self.visits if self.visits else 0.0
+
+
+class MCTS:
+    """One reusable search instance (per query log / screen / config)."""
+
+    def __init__(
+        self,
+        model: CostModel,
+        engine: Optional[RuleEngine] = None,
+        config: MCTSConfig = MCTSConfig(),
+    ) -> None:
+        self.model = model
+        self.engine = engine or default_engine()
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.evaluator = StateEvaluator(
+            model, k_assignments=config.k_assignments, seed=config.seed
+        )
+        self.nodes: Dict[str, _TreeNode] = {}
+        self.frontier: List[str] = []
+        self._best_seen_cost = math.inf
+        self._worst_seen_cost = -math.inf
+        self._deadline = math.inf
+
+    # -- public API ---------------------------------------------------------
+
+    def search(self, initial: DTNode) -> SearchResult:
+        """Run the search from ``initial`` and return the optimized result."""
+        config = self.config
+        self.evaluator.restart_clock()
+        root = _TreeNode(state=initial, parent_key=None, depth=0)
+        root_key = initial.canonical_key
+        self.nodes[root_key] = root
+        self.frontier = [root_key]
+        self._observe_cost(self.evaluator.evaluate(initial).cost)
+        self._backpropagate(root_key, self._reward_of(initial))
+
+        self._deadline = time.perf_counter() + config.time_budget_s
+        while True:
+            if config.max_iterations and self.evaluator.stats.iterations >= config.max_iterations:
+                break
+            if time.perf_counter() >= self._deadline:
+                break
+            if not self.frontier:
+                break
+            self._iterate()
+            self.evaluator.stats.iterations += 1
+
+        best = self.evaluator.finalize(final_cap=config.final_cap)
+        return SearchResult(
+            best=best,
+            best_state=best.tree,
+            history=list(self.evaluator.history),
+            stats=self.evaluator.stats,
+            elapsed=self.evaluator.elapsed,
+            strategy="mcts",
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _iterate(self) -> None:
+        key = self._select()
+        node = self.nodes[key]
+        node.expanded = True
+        self.frontier.remove(key)
+        self.evaluator.stats.states_expanded += 1
+
+        neighbors = self.engine.neighbors(node.state)
+        self.evaluator.stats.max_fanout = max(
+            self.evaluator.stats.max_fanout, len(neighbors)
+        )
+        if len(neighbors) > self.config.max_children:
+            neighbors = self.rng.sample(neighbors, self.config.max_children)
+        simulations_left = self.config.rollouts_per_expansion
+        for _, successor in neighbors:
+            child_key = successor.canonical_key
+            child = self.nodes.get(child_key)
+            if child is None:
+                child = _TreeNode(
+                    state=successor, parent_key=key, depth=node.depth + 1
+                )
+                self.nodes[child_key] = child
+                self.frontier.append(child_key)
+                self.evaluator.stats.max_depth = max(
+                    self.evaluator.stats.max_depth, child.depth
+                )
+            # Evaluate the neighbor itself (keeps the incumbent exact for
+            # states one move away), then one simulation from it (paper:
+            # "a random walk ... from all of its immediate neighbor
+            # states" — capped by rollouts_per_expansion for small
+            # budgets; direct evaluation still seeds the child's reward).
+            direct = self._reward_of(successor)
+            if simulations_left > 0:
+                simulations_left -= 1
+                reward = self._simulate(successor)
+            else:
+                reward = direct
+            self._backpropagate(child_key, reward)
+            if time.perf_counter() >= self._deadline:
+                break
+
+    def _select(self) -> str:
+        """Frontier state with the highest UCT."""
+        config = self.config
+        best_key = self.frontier[0]
+        best_score = -math.inf
+        for key in self.frontier:
+            node = self.nodes[key]
+            if node.visits == 0:
+                return key
+            parent = self.nodes.get(node.parent_key) if node.parent_key else None
+            parent_visits = parent.visits if parent else node.visits
+            explore = config.exploration_c * math.sqrt(
+                math.log(max(parent_visits, 1) + 1) / node.visits
+            )
+            score = node.mean_reward() + explore
+            if score > best_score:
+                best_score = score
+                best_key = key
+        return best_key
+
+    def _simulate(self, state: DTNode) -> float:
+        """Random walk of up to ``max_walk_steps``; reward of final state."""
+        config = self.config
+        current = state
+        for _ in range(config.max_walk_steps):
+            if config.walk_stop_prob and self.rng.random() < config.walk_stop_prob:
+                break
+            if time.perf_counter() >= self._deadline:
+                break
+            if self.rng.random() < config.rollout_forward_bias:
+                move = self.engine.random_move(
+                    current, self.rng, rule_names=_FORWARD_RULES
+                )
+                if move is None:
+                    move = self.engine.random_move(current, self.rng)
+            else:
+                move = self.engine.random_move(current, self.rng)
+            if move is None:
+                break
+            current = self.engine.apply(current, move)
+            self.evaluator.stats.walk_steps += 1
+            if config.walk_eval_prob and self.rng.random() < config.walk_eval_prob:
+                self._reward_of(current)
+        return self._reward_of(current)
+
+    def _reward_of(self, state: DTNode) -> float:
+        cost = self.evaluator.evaluate(state).cost
+        self._observe_cost(cost)
+        return normalized_reward(cost, self._best_seen_cost, self._worst_seen_cost)
+
+    def _observe_cost(self, cost: float) -> None:
+        if math.isinf(cost):
+            return
+        self._best_seen_cost = min(self._best_seen_cost, cost)
+        self._worst_seen_cost = max(self._worst_seen_cost, cost)
+
+    def _backpropagate(self, key: str, reward: float) -> None:
+        cursor: Optional[str] = key
+        seen = set()
+        while cursor is not None and cursor not in seen:
+            seen.add(cursor)
+            node = self.nodes[cursor]
+            node.visits += 1
+            node.reward_sum += reward
+            cursor = node.parent_key
+
+
+def mcts_search(
+    model: CostModel,
+    initial: DTNode,
+    engine: Optional[RuleEngine] = None,
+    config: MCTSConfig = MCTSConfig(),
+) -> SearchResult:
+    """Convenience wrapper: run one MCTS search."""
+    return MCTS(model, engine=engine, config=config).search(initial)

@@ -1,0 +1,127 @@
+"""AST alignment and diff utilities.
+
+These helpers answer the structural questions the difftree layer asks:
+which children of two nodes correspond to each other, and where do two
+ASTs differ?  Alignment is by *head signature* — the ``(label, value)``
+pair for structure-bearing labels, and just the label for value-bearing
+leaves (so ``ColExpr(sales)`` aligns with ``ColExpr(costs)``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from . import nodes as N
+
+#: Labels whose ``value`` is *structural* — two nodes with these labels but
+#: different values must NOT be aligned (a ``BiExpr(=)`` is a different
+#: operation from a ``BiExpr(<)``, and ``avg(...)`` differs from
+#: ``count(...)``).  For all other labels the value is *content* and nodes
+#: align on label alone.
+STRUCTURAL_VALUE_LABELS = frozenset({N.BIEXPR, N.FUNC, N.ORDERITEM})
+
+
+def align_key(node: N.Node) -> Tuple[str, Any]:
+    """Return the key on which two AST nodes are considered alignable."""
+    if node.label in STRUCTURAL_VALUE_LABELS:
+        return (node.label, node.value)
+    return (node.label, None)
+
+
+def alignable(a: N.Node, b: N.Node) -> bool:
+    """True if ``a`` and ``b`` have matching heads and may be aligned."""
+    return align_key(a) == align_key(b)
+
+
+def align_children(
+    rows: Sequence[Sequence[N.Node]],
+) -> Optional[List[List[Optional[N.Node]]]]:
+    """Align the child sequences of several nodes into columns.
+
+    Args:
+        rows: one child sequence per node being aligned.
+
+    Returns:
+        A list of columns; each column is a list with one entry per row,
+        where the entry is the aligned child or ``None`` when the row has
+        no child in this column.  Returns ``None`` when no consistent
+        order-preserving alignment exists (keys appear in conflicting
+        orders or a key repeats within a row — repeated keys are the
+        province of the ``Multi`` rule, not alignment).
+    """
+    keyed_rows: List[List[Tuple[Tuple[str, Any], N.Node]]] = []
+    for row in rows:
+        keyed = [(align_key(child), child) for child in row]
+        keys = [k for k, _ in keyed]
+        if len(set(keys)) != len(keys):
+            return None
+        keyed_rows.append(keyed)
+
+    # Merge the per-row key orders into one global order; fail on conflicts
+    # (key A before B in one row but after B in another).
+    order: List[Tuple[str, Any]] = []
+    for keyed in keyed_rows:
+        position = 0
+        for key, _ in keyed:
+            if key in order:
+                existing = order.index(key)
+                if existing < position:
+                    return None
+                position = existing + 1
+            else:
+                order.insert(position, key)
+                position += 1
+
+    columns: List[List[Optional[N.Node]]] = []
+    for key in order:
+        column: List[Optional[N.Node]] = []
+        for keyed in keyed_rows:
+            match = next((child for k, child in keyed if k == key), None)
+            column.append(match)
+        columns.append(column)
+    return columns
+
+
+def diff_paths(
+    a: N.Node, b: N.Node, prefix: Tuple[int, ...] = ()
+) -> Iterator[Tuple[Tuple[int, ...], Optional[N.Node], Optional[N.Node]]]:
+    """Yield ``(path, subtree_a, subtree_b)`` for each maximal difference.
+
+    A *difference* is the highest point in the trees where the two ASTs
+    stop matching: either the heads differ, or the child alignment
+    produced an insertion/deletion.  This is the primitive used by the
+    bottom-up mining baseline (Zhang et al. 2017).
+    """
+    if a == b:
+        return
+    if not alignable(a, b):
+        yield prefix, a, b
+        return
+    if a.value != b.value and not a.children and not b.children:
+        # Same label, different leaf payload (e.g. differing literals).
+        yield prefix, a, b
+        return
+    if a.value != b.value:
+        yield prefix, a, b
+        return
+    columns = align_children([a.children, b.children])
+    if columns is None:
+        yield prefix, a, b
+        return
+    # Map each aligned child back to its index in ``a`` (for path bookkeeping);
+    # insertions on the ``b`` side are reported at the position they would
+    # occupy.
+    index_a = {id(child): i for i, child in enumerate(a.children)}
+    for column in columns:
+        child_a, child_b = column
+        if child_a is None:
+            yield prefix + (len(a.children),), None, child_b
+        elif child_b is None:
+            yield prefix + (index_a[id(child_a)],), child_a, None
+        else:
+            yield from diff_paths(child_a, child_b, prefix + (index_a[id(child_a)],))
+
+
+def count_differences(a: N.Node, b: N.Node) -> int:
+    """Number of maximal differing subtree pairs between two ASTs."""
+    return sum(1 for _ in diff_paths(a, b))

@@ -1,0 +1,46 @@
+"""Errors raised by the SQL lexer and parser."""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Base class for all SQL front-end errors."""
+
+
+class LexError(SqlError):
+    """Raised when the lexer encounters an unrecognized character.
+
+    Attributes:
+        text: the full input text.
+        pos: character offset where lexing failed.
+    """
+
+    def __init__(self, message: str, text: str, pos: int) -> None:
+        super().__init__(f"{message} at position {pos}: {_context(text, pos)}")
+        self.text = text
+        self.pos = pos
+
+
+class ParseError(SqlError):
+    """Raised when the parser cannot derive a valid query.
+
+    Attributes:
+        text: the full input text.
+        pos: character offset of the offending token.
+    """
+
+    def __init__(self, message: str, text: str = "", pos: int = 0) -> None:
+        if text:
+            message = f"{message} at position {pos}: {_context(text, pos)}"
+        super().__init__(message)
+        self.text = text
+        self.pos = pos
+
+
+def _context(text: str, pos: int, width: int = 24) -> str:
+    """Return a short excerpt of ``text`` around ``pos`` for error messages."""
+    start = max(0, pos - width)
+    end = min(len(text), pos + width)
+    prefix = "..." if start > 0 else ""
+    suffix = "..." if end < len(text) else ""
+    return f"{prefix}{text[start:end]!r}{suffix}"

@@ -1,0 +1,149 @@
+"""Tokenizer for the SQL subset.
+
+Produces a flat list of :class:`Token` objects consumed by the
+recursive-descent parser in :mod:`repro.sqlast.parser`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .errors import LexError
+
+# Token kinds.
+KEYWORD = "KEYWORD"
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+OP = "OP"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+KEYWORDS = frozenset(
+    {
+        "select",
+        "top",
+        "from",
+        "where",
+        "and",
+        "or",
+        "not",
+        "between",
+        "in",
+        "as",
+        "group",
+        "order",
+        "by",
+        "asc",
+        "desc",
+        "limit",
+        "distinct",
+    }
+)
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+_PUNCT = "(),*."
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        kind: one of the module-level token-kind constants.
+        text: the token text; keywords are lower-cased.
+        pos: character offset of the token start in the input.
+    """
+
+    kind: str
+    text: str
+    pos: int
+
+    def matches(self, kind: str, text: str = "") -> bool:
+        """Return True if this token has the given kind (and text, if set)."""
+        if self.kind != kind:
+            return False
+        return not text or self.text == text
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` into a list of tokens ending with an EOF token.
+
+    Raises:
+        LexError: on any unrecognized character or unterminated string.
+    """
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            # Line comment.
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(KEYWORD, lowered, start))
+            else:
+                tokens.append(Token(IDENT, word, start))
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            start = i
+            seen_dot = False
+            while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+                if text[i] == ".":
+                    # Only treat the dot as part of the number when followed
+                    # by a digit (so "t.col" still lexes as IDENT PUNCT IDENT).
+                    if i + 1 >= n or not text[i + 1].isdigit():
+                        break
+                    seen_dot = True
+                i += 1
+            tokens.append(Token(NUMBER, text[start:i], start))
+            continue
+        if ch in ("'", '"'):
+            start = i
+            quote = ch
+            i += 1
+            chars: List[str] = []
+            while i < n:
+                if text[i] == quote:
+                    if i + 1 < n and text[i + 1] == quote:
+                        chars.append(quote)  # escaped quote ('' or "")
+                        i += 2
+                        continue
+                    break
+                chars.append(text[i])
+                i += 1
+            if i >= n:
+                raise LexError("unterminated string literal", text, start)
+            i += 1  # closing quote
+            tokens.append(Token(STRING, "".join(chars), start))
+            continue
+        matched_op = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token(OP, op, i))
+                i += len(op)
+                matched_op = True
+                break
+        if matched_op:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(PUNCT, ch, i))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", text, i)
+    tokens.append(Token(EOF, "", n))
+    return tokens

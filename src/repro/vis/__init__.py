@@ -1,0 +1,23 @@
+"""Visualization recommendation and ASCII rendering (Show-Me substrate)."""
+
+from .recommend import (
+    BAR,
+    BIG_NUMBER,
+    HISTOGRAM,
+    SCATTER,
+    TABLE,
+    ChartSpec,
+    recommend_chart,
+)
+from .render import render_chart
+
+__all__ = [
+    "ChartSpec",
+    "recommend_chart",
+    "render_chart",
+    "BIG_NUMBER",
+    "BAR",
+    "SCATTER",
+    "HISTOGRAM",
+    "TABLE",
+]

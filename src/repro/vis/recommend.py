@@ -1,0 +1,87 @@
+"""Show-Me-style visualization recommendation (Mackinlay et al. 2007).
+
+The paper "leverage[s] existing automatic visualization techniques that
+recommend visualizations based on a dataset"; this module is that
+substrate.  Given a query's result set (and the query itself for context),
+it picks a chart type by simple, well-known rules:
+
+* a single 1×1 aggregate            → big number
+* one categorical + one numeric col → bar chart
+* two numeric columns               → scatter plot
+* one numeric column                → histogram
+* anything else                     → table
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..database import ResultSet
+from ..sqlast import Node
+from ..sqlast import nodes as N
+
+BIG_NUMBER = "big_number"
+BAR = "bar"
+SCATTER = "scatter"
+HISTOGRAM = "histogram"
+TABLE = "table"
+
+
+@dataclass(frozen=True)
+class ChartSpec:
+    """A renderable chart recommendation.
+
+    Attributes:
+        kind: one of the module-level chart-kind constants.
+        x: column mapped to the x encoding (None for big_number/table).
+        y: column mapped to the y encoding.
+        title: chart caption (usually the SQL text).
+    """
+
+    kind: str
+    x: Optional[str] = None
+    y: Optional[str] = None
+    title: str = ""
+
+
+def _column_kinds(result: ResultSet) -> List[Tuple[str, str]]:
+    """Classify result columns as numeric or categorical."""
+    kinds = []
+    for name in result.columns:
+        values = [v for v in result.column(name) if v is not None]
+        numeric = bool(values) and all(
+            isinstance(v, (int, float)) and not isinstance(v, bool) for v in values
+        )
+        kinds.append((name, "numeric" if numeric else "categorical"))
+    return kinds
+
+
+def recommend_chart(result: ResultSet, query: Optional[Node] = None) -> ChartSpec:
+    """Pick a chart for ``result`` (optionally informed by ``query``)."""
+    title = ""
+    if query is not None:
+        from ..sqlast import to_sql
+
+        title = to_sql(query)
+    kinds = _column_kinds(result)
+    if result.num_rows == 1 and len(kinds) == 1 and kinds[0][1] == "numeric":
+        return ChartSpec(kind=BIG_NUMBER, y=kinds[0][0], title=title)
+    if query is not None and _is_grouped_aggregate(query) and len(kinds) >= 2:
+        categorical = next((n for n, k in kinds if k == "categorical"), None)
+        numeric = next((n for n, k in kinds if k == "numeric"), None)
+        if categorical and numeric:
+            return ChartSpec(kind=BAR, x=categorical, y=numeric, title=title)
+    numeric_cols = [n for n, k in kinds if k == "numeric"]
+    categorical_cols = [n for n, k in kinds if k == "categorical"]
+    if len(kinds) == 2 and len(numeric_cols) == 2:
+        return ChartSpec(kind=SCATTER, x=numeric_cols[0], y=numeric_cols[1], title=title)
+    if len(kinds) == 2 and len(numeric_cols) == 1 and len(categorical_cols) == 1:
+        return ChartSpec(kind=BAR, x=categorical_cols[0], y=numeric_cols[0], title=title)
+    if len(kinds) == 1 and numeric_cols and result.num_rows > 1:
+        return ChartSpec(kind=HISTOGRAM, x=numeric_cols[0], title=title)
+    return ChartSpec(kind=TABLE, title=title)
+
+
+def _is_grouped_aggregate(query: Node) -> bool:
+    return query.child_by_label(N.GROUPBY) is not None

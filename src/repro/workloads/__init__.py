@@ -1,0 +1,21 @@
+"""Evaluation workloads: the paper's SDSS log and synthetic generators."""
+
+from .sdss import LISTING1_SQL, listing1_queries, listing1_sql
+from .synthetic import (
+    clause_toggle_log,
+    mixed_session_log,
+    predicate_add_log,
+    projection_cycle_log,
+    value_drift_log,
+)
+
+__all__ = [
+    "LISTING1_SQL",
+    "listing1_sql",
+    "listing1_queries",
+    "value_drift_log",
+    "clause_toggle_log",
+    "predicate_add_log",
+    "projection_cycle_log",
+    "mixed_session_log",
+]

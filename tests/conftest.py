@@ -1,0 +1,48 @@
+"""Shared fixtures: the paper's running examples and small models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost import CostModel
+from repro.difftree import initial_difftree
+from repro.layout import Screen
+from repro.sqlast import parse
+from repro.workloads import listing1_queries
+
+#: The three queries of paper Figure 1.
+FIGURE1_SQL = (
+    "SELECT sales FROM sales WHERE cty = 'USA'",
+    "SELECT costs FROM sales WHERE cty = 'EUR'",
+    "SELECT costs FROM sales",
+)
+
+
+@pytest.fixture
+def fig1_queries():
+    return [parse(sql) for sql in FIGURE1_SQL]
+
+
+@pytest.fixture
+def fig1_tree(fig1_queries):
+    return initial_difftree(fig1_queries)
+
+
+@pytest.fixture
+def fig1_model(fig1_queries):
+    return CostModel(fig1_queries, Screen.wide())
+
+
+@pytest.fixture
+def sdss_queries():
+    return listing1_queries()
+
+
+@pytest.fixture
+def sdss_tree(sdss_queries):
+    return initial_difftree(sdss_queries)
+
+
+@pytest.fixture
+def sdss_model(sdss_queries):
+    return CostModel(sdss_queries, Screen.wide())

@@ -1,0 +1,97 @@
+"""Tests for the co-occurrence extension (paper's Ongoing Work)."""
+
+import pytest
+
+from repro.cooccur import CooccurrenceModel
+from repro.difftree import assignment_for, enumerate_queries, initial_difftree
+from repro.rules import forward_engine
+from repro.sqlast import parse
+
+
+def factored(sqls):
+    engine = forward_engine()
+    tree = initial_difftree([parse(q) for q in sqls])
+    while True:
+        moves = [m for m in engine.moves(tree) if m.rule_name != "Multi"]
+        if not moves:
+            return tree
+        tree = engine.apply(tree, moves[0])
+
+
+LOG = (
+    "select objid from stars where u < 10",
+    "select objid from stars where u < 20",
+    "select count(*) from galaxies where u < 10",
+)
+
+
+@pytest.fixture
+def fitted():
+    queries = [parse(q) for q in LOG]
+    tree = factored(LOG)
+    return tree, queries, CooccurrenceModel.from_log(tree, queries)
+
+
+class TestCooccurrence:
+    def test_counts_all_queries(self, fitted):
+        _, queries, model = fitted
+        assert model.num_queries == len(queries)
+
+    def test_observed_assignments_are_likely(self, fitted):
+        tree, queries, model = fitted
+        for query in queries:
+            assignment = assignment_for(tree, query)
+            assert model.is_likely(assignment)
+            assert model.assignment_support(assignment) >= 1
+
+    def test_unwitnessed_combination_is_unlikely(self, fitted):
+        tree, queries, model = fitted
+        # count(*) over stars with u < 20 was never in the log.
+        novel = parse("select count(*) from stars where u < 20")
+        assignment = assignment_for(tree, novel)
+        if assignment is None:
+            pytest.skip("tree does not generalize to the novel query")
+        assert not model.is_likely(assignment)
+        assert model.unlikely_pairs(assignment)
+
+    def test_pair_support_symmetric(self, fitted):
+        tree, queries, model = fitted
+        assignment = assignment_for(tree, queries[0])
+        items = sorted(assignment.items())
+        if len(items) >= 2:
+            (pa, va), (pb, vb) = items[0], items[1]
+            assert model.pair_support(pa, va, pb, vb) == model.pair_support(
+                pb, vb, pa, va
+            )
+
+    def test_generalization_ratio(self, fitted):
+        tree, queries, model = fitted
+        sample = []
+        for query in enumerate_queries(tree, limit=50):
+            assignment = assignment_for(tree, query)
+            if assignment is not None:
+                sample.append(assignment)
+        ratio = model.generalization_ratio(sample)
+        assert 0.0 < ratio <= 1.0
+        # The tree generalizes: some expressible states are unwitnessed.
+        assert ratio < 1.0
+
+    def test_empty_sample_ratio_is_one(self, fitted):
+        _, _, model = fitted
+        assert model.generalization_ratio([]) == 1.0
+
+    def test_inexpressible_queries_skipped(self):
+        tree = factored(LOG)
+        model = CooccurrenceModel.from_log(
+            tree, [parse("select nothing from nowhere")]
+        )
+        assert model.num_queries == 0
+
+    def test_sdss_log_fit(self):
+        from repro.workloads import listing1_sql, listing1_queries
+
+        tree = factored(listing1_sql())
+        model = CooccurrenceModel.from_log(tree, listing1_queries())
+        assert model.num_queries == 10
+        for query in listing1_queries():
+            assert model.is_likely(assignment_for(tree, query))

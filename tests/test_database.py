@@ -1,0 +1,223 @@
+"""Tests for the in-memory storage engine and query executor."""
+
+import pytest
+
+from repro.database import (
+    Database,
+    ExecutionError,
+    ResultSet,
+    SchemaError,
+    Table,
+    execute,
+)
+from repro.sqlast import parse
+
+
+@pytest.fixture
+def db():
+    sales = Table(
+        "sales",
+        {
+            "cty": ["USA", "EUR", "USA", "APAC"],
+            "sales": [10, 20, 30, 40],
+            "costs": [5, 15, 25, 35],
+        },
+    )
+    tiny = Table("tiny", {"x": [1]})
+    return Database([sales, tiny])
+
+
+class TestStorage:
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("bad", {"a": [1, 2], "b": [1]})
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("bad", {})
+
+    def test_row_access(self, db):
+        assert db.table("sales").row(0) == {"cty": "USA", "sales": 10, "costs": 5}
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SchemaError):
+            db.table("sales").column("nope")
+
+    def test_unknown_table(self, db):
+        with pytest.raises(SchemaError):
+            db.table("nope")
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.add_table(Table("sales", {"x": [1]}))
+
+    def test_select_rows(self, db):
+        subset = db.table("sales").select_rows([0, 2])
+        assert subset.num_rows == 2
+        assert subset.column("sales") == [10, 30]
+
+    def test_column_type(self, db):
+        assert db.table("sales").column_type("sales") is int
+        assert db.table("sales").column_type("cty") is str
+
+    def test_result_set_validation(self):
+        with pytest.raises(SchemaError):
+            ResultSet(["a", "b"], [(1,)])
+
+    def test_result_set_column(self):
+        rs = ResultSet(["a", "b"], [(1, 2), (3, 4)])
+        assert rs.column("b") == [2, 4]
+        assert rs.first() == (1, 2)
+        assert rs.to_dicts()[1] == {"a": 3, "b": 4}
+
+
+class TestExecutor:
+    def run(self, db, sql):
+        return execute(db, parse(sql))
+
+    def test_simple_projection(self, db):
+        rs = self.run(db, "select sales from sales")
+        assert rs.columns == ["sales"]
+        assert rs.column("sales") == [10, 20, 30, 40]
+
+    def test_star_projection(self, db):
+        rs = self.run(db, "select * from sales")
+        assert set(rs.columns) == {"cty", "sales", "costs"}
+
+    def test_where_equality(self, db):
+        rs = self.run(db, "select sales from sales where cty = 'USA'")
+        assert rs.column("sales") == [10, 30]
+
+    def test_where_between(self, db):
+        rs = self.run(db, "select sales from sales where sales between 15 and 35")
+        assert rs.column("sales") == [20, 30]
+
+    def test_where_in(self, db):
+        rs = self.run(db, "select sales from sales where cty in ('EUR', 'APAC')")
+        assert rs.column("sales") == [20, 40]
+
+    def test_where_and_or_not(self, db):
+        rs = self.run(
+            db,
+            "select sales from sales where not cty = 'USA' and (sales < 25 or sales > 35)",
+        )
+        assert rs.column("sales") == [20, 40]
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("<", [10]),
+            ("<=", [10, 20]),
+            (">", [30, 40]),
+            (">=", [20, 30, 40]),
+            ("<>", [10, 30, 40]),
+            ("=", [20]),
+        ],
+    )
+    def test_comparison_operators(self, db, op, expected):
+        rs = self.run(db, f"select sales from sales where sales {op} 20")
+        assert rs.column("sales") == expected
+
+    def test_top(self, db):
+        rs = self.run(db, "select top 2 sales from sales")
+        assert rs.column("sales") == [10, 20]
+
+    def test_limit(self, db):
+        rs = self.run(db, "select sales from sales limit 3")
+        assert rs.num_rows == 3
+
+    def test_count_star(self, db):
+        rs = self.run(db, "select count(*) from sales")
+        assert rs.rows == [(4,)]
+        assert rs.columns == ["count(*)"]
+
+    def test_aggregates(self, db):
+        rs = self.run(db, "select sum(sales), avg(sales), min(sales), max(sales) from sales")
+        assert rs.rows == [(100, 25.0, 10, 40)]
+
+    def test_group_by(self, db):
+        rs = self.run(db, "select cty, count(*) from sales group by cty")
+        assert dict(rs.rows) == {"USA": 2, "EUR": 1, "APAC": 1}
+
+    def test_group_by_with_aggregate_ordering(self, db):
+        rs = self.run(db, "select cty, sum(sales) from sales group by cty")
+        as_dict = dict(rs.rows)
+        assert as_dict["USA"] == 40
+
+    def test_order_by_desc(self, db):
+        rs = self.run(db, "select sales from sales order by sales desc")
+        assert rs.column("sales") == [40, 30, 20, 10]
+
+    def test_order_by_then_top(self, db):
+        rs = self.run(db, "select top 1 sales from sales order by sales desc")
+        assert rs.column("sales") == [40]
+
+    def test_cross_product(self, db):
+        rs = self.run(db, "select x from sales, tiny")
+        assert rs.num_rows == 4
+
+    def test_qualified_column(self, db):
+        rs = self.run(db, "select sales.cty from sales")
+        assert rs.num_rows == 4
+
+    def test_aggregate_ignores_nulls(self):
+        t = Table("t", {"x": [1, None, 3]})
+        rs = execute(Database([t]), parse("select avg(x) from t"))
+        assert rs.rows == [(2.0,)]
+
+    def test_comparison_with_null_is_false(self):
+        t = Table("t", {"x": [1, None]})
+        rs = execute(Database([t]), parse("select x from t where x < 10"))
+        assert rs.column("x") == [1]
+
+    def test_unknown_column_raises(self, db):
+        with pytest.raises(ExecutionError):
+            self.run(db, "select nope from sales")
+
+    def test_bare_column_with_aggregate_raises(self, db):
+        with pytest.raises(ExecutionError):
+            self.run(db, "select cty, count(*) from sales")
+
+    def test_order_by_column_not_in_output_raises(self, db):
+        with pytest.raises(ExecutionError):
+            self.run(db, "select sales from sales order by costs")
+
+    def test_empty_result(self, db):
+        rs = self.run(db, "select sales from sales where sales > 1000")
+        assert rs.num_rows == 0
+
+
+class TestDatagen:
+    def test_sdss_schema(self):
+        from repro.datagen import make_sdss_database
+
+        db = make_sdss_database(rows_per_table=50, seed=7)
+        assert set(db.table_names) == {"stars", "galaxies", "quasars"}
+        stars = db.table("stars")
+        for col in ("objid", "u", "g", "r", "i", "z", "ra", "dec", "redshift"):
+            assert stars.has_column(col)
+        assert stars.num_rows == 50
+
+    def test_sdss_deterministic(self):
+        from repro.datagen import make_sdss_database
+
+        a = make_sdss_database(rows_per_table=20, seed=3)
+        b = make_sdss_database(rows_per_table=20, seed=3)
+        assert a.table("quasars").column("u") == b.table("quasars").column("u")
+
+    def test_sdss_magnitudes_in_range(self):
+        from repro.datagen import make_sdss_database
+
+        db = make_sdss_database(rows_per_table=100, seed=1)
+        for table in db.table_names:
+            for band in "ugriz":
+                values = db.table(table).column(band)
+                assert all(0.0 <= v <= 30.0 for v in values)
+
+    def test_listing1_queries_run_on_sdss(self):
+        from repro.datagen import make_sdss_database
+        from repro.workloads import listing1_queries
+
+        db = make_sdss_database(rows_per_table=60, seed=2)
+        for query in listing1_queries():
+            execute(db, query)  # must not raise

@@ -1,0 +1,149 @@
+"""Tests for expressibility matching, assignments, and enumeration."""
+
+import pytest
+
+from repro.difftree import (
+    EMPTY_NODE,
+    all_node,
+    any_node,
+    assignment_for,
+    changed_choices,
+    count_queries,
+    enumerate_queries,
+    expresses,
+    expresses_all,
+    initial_difftree,
+    multi_node,
+    opt_node,
+    wrap_ast,
+)
+from repro.rules import default_engine, forward_engine
+from repro.sqlast import parse
+
+
+def factored(queries, skip_multi=True):
+    """Drive forward rules to a fixpoint (deterministic helper)."""
+    engine = forward_engine()
+    tree = initial_difftree(queries)
+    while True:
+        moves = engine.moves(tree)
+        if skip_multi:
+            moves = [m for m in moves if m.rule_name != "Multi"]
+        if not moves:
+            return tree
+        tree = engine.apply(tree, moves[0])
+
+
+class TestExpresses:
+    def test_initial_tree_expresses_inputs(self, fig1_queries, fig1_tree):
+        assert expresses_all(fig1_tree, fig1_queries)
+
+    def test_does_not_express_unrelated(self, fig1_tree):
+        assert not expresses(fig1_tree, parse("select zzz from nowhere"))
+
+    def test_factored_tree_expresses_inputs(self, fig1_queries):
+        tree = factored(fig1_queries)
+        assert expresses_all(tree, fig1_queries)
+
+    def test_factored_tree_generalizes(self, fig1_queries):
+        # Figure 4: the factored tree also expresses sales+EUR (not in log).
+        tree = factored(fig1_queries)
+        assert expresses(tree, parse("SELECT sales FROM sales WHERE cty = 'EUR'"))
+        assert expresses(tree, parse("SELECT sales FROM sales"))
+
+    def test_opt_expresses_absence(self):
+        q_with = parse("select a from t where x < 1")
+        q_without = parse("select a from t")
+        tree = factored([q_with, q_without])
+        assert expresses(tree, q_with)
+        assert expresses(tree, q_without)
+
+    def test_multi_expresses_variable_repetitions(self):
+        queries = [
+            parse("select a from t where x < 1"),
+            parse("select a from t where x < 1 and x < 1"),
+        ]
+        base = wrap_ast(queries[1])
+        # Hand-build: And children merged into MULTI.
+        engine = forward_engine()
+        tree = initial_difftree(queries)
+        moves = [m for m in engine.moves(tree)]
+        # Whatever the rule path, the invariant below must hold for three
+        # repetitions too once a MULTI exists.
+        for move in moves:
+            after = engine.apply(tree, move)
+            assert expresses_all(after, queries)
+
+    def test_multi_matches_zero_and_many(self):
+        template = wrap_ast(parse("select a from t").child_by_label("Project").children[0])
+        tree = all_node("Project", None, (multi_node(template),))
+        assert count_queries(tree, multi_cap=3) == 4  # 0..3 repetitions
+
+    def test_sdss_log_expressible_through_factoring(self, sdss_queries):
+        tree = factored(sdss_queries)
+        assert expresses_all(tree, sdss_queries)
+
+
+class TestAssignments:
+    def test_assignment_roundtrip_via_instantiate(self, fig1_queries):
+        from repro.interface import instantiate
+
+        tree = factored(fig1_queries)
+        for query in fig1_queries:
+            assignment = assignment_for(tree, query)
+            assert assignment is not None
+            assert instantiate(tree, assignment) == query
+
+    def test_assignment_none_for_inexpressible(self, fig1_tree):
+        assert assignment_for(fig1_tree, parse("select q from q")) is None
+
+    def test_changed_choices_between_queries(self, fig1_queries):
+        tree = factored(fig1_queries)
+        a = assignment_for(tree, fig1_queries[0])
+        b = assignment_for(tree, fig1_queries[1])
+        changed = changed_choices(a, b)
+        assert changed  # projection + literal differ
+        assert changed_choices(a, a) == []
+
+    def test_changed_includes_missing_keys(self):
+        assert changed_choices({(0,): 1}, {}) == [(0,)]
+
+    def test_opt_assignment_values(self):
+        q_with = parse("select a from t where x < 1")
+        q_without = parse("select a from t")
+        tree = factored([q_with, q_without])
+        with_a = assignment_for(tree, q_with)
+        without_a = assignment_for(tree, q_without)
+        assert True in with_a.values()
+        assert False in without_a.values()
+
+
+class TestCounting:
+    def test_initial_counts_inputs(self, fig1_queries, fig1_tree):
+        assert count_queries(fig1_tree) == 3
+
+    def test_factored_counts_product(self, fig1_queries):
+        tree = factored(fig1_queries)
+        # 2 projections x (absent + 2 literals) = 6 (paper: "can express
+        # more queries than the initial difftree").
+        assert count_queries(tree) == 6
+
+    def test_enumerate_contains_inputs(self, fig1_queries):
+        tree = factored(fig1_queries)
+        enumerated = enumerate_queries(tree, limit=100)
+        for query in fig1_queries:
+            assert query in enumerated
+
+    def test_enumerate_respects_limit(self, sdss_queries):
+        tree = factored(sdss_queries)
+        assert len(enumerate_queries(tree, limit=10)) == 10
+
+    def test_enumerate_unique(self, fig1_queries):
+        tree = factored(fig1_queries)
+        out = enumerate_queries(tree, limit=1000)
+        assert len(out) == len(set(out))
+
+    def test_opt_counting(self):
+        leaf = all_node("ColExpr", "a")
+        tree = all_node("Project", None, (opt_node(leaf),))
+        assert count_queries(tree) == 2

@@ -1,0 +1,103 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sqlast.errors import LexError
+from repro.sqlast.lexer import (
+    EOF,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    OP,
+    PUNCT,
+    STRING,
+    tokenize,
+)
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_are_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.kind == KEYWORD for t in tokens[:-1])
+        assert all(t.text == "select" for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        assert texts("objid RA MyCol") == ["objid", "RA", "MyCol"]
+        assert kinds("objid")[:-1] == [IDENT]
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert texts("col_1 _x a2b") == ["col_1", "_x", "a2b"]
+
+    def test_integer_and_float_numbers(self):
+        tokens = tokenize("10 3.5 0.25")
+        assert [t.kind for t in tokens[:-1]] == [NUMBER] * 3
+        assert [t.text for t in tokens[:-1]] == ["10", "3.5", "0.25"]
+
+    def test_leading_dot_float(self):
+        assert texts(".5") == [".5"]
+
+    def test_qualified_name_is_not_a_float(self):
+        assert texts("t.col") == ["t", ".", "col"]
+        assert kinds("t.col")[:-1] == [IDENT, PUNCT, IDENT]
+
+    def test_single_and_double_quoted_strings(self):
+        assert texts("'USA' \"EUR\"") == ["USA", "EUR"]
+        assert kinds("'USA'")[:-1] == [STRING]
+
+    def test_escaped_quote_inside_string(self):
+        assert texts("'it''s'") == ["it's"]
+
+    def test_operators(self):
+        assert texts("= < > <= >= <> !=") == ["=", "<", ">", "<=", ">=", "<>", "!="]
+        assert all(k == OP for k in kinds("= <= <>")[:-1])
+
+    def test_punctuation(self):
+        assert texts("( ) , *") == ["(", ")", ",", "*"]
+
+    def test_eof_token_is_appended(self):
+        tokens = tokenize("select")
+        assert tokens[-1].kind == EOF
+
+
+class TestEdgeCases:
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == EOF
+
+    def test_whitespace_only(self):
+        assert len(tokenize("  \n\t  ")) == 1
+
+    def test_line_comment_is_skipped(self):
+        assert texts("select -- comment here\n x") == ["select", "x"]
+
+    def test_comment_at_end_without_newline(self):
+        assert texts("x -- trailing") == ["x"]
+
+    def test_positions_are_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].pos == 0
+        assert tokens[1].pos == 3
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a ; b")
+
+    def test_matches_helper(self):
+        token = tokenize("select")[0]
+        assert token.matches(KEYWORD)
+        assert token.matches(KEYWORD, "select")
+        assert not token.matches(KEYWORD, "from")
+        assert not token.matches(IDENT)

@@ -1,0 +1,196 @@
+"""Tests for the mining baseline, workloads, and the public API."""
+
+import pytest
+
+from repro import GenerationConfig, Screen, generate_interface
+from repro.cost import CostModel
+from repro.difftree import as_asts, expresses_all
+from repro.mining import evaluate_mined, mine_interface
+from repro.sqlast import parse, to_sql
+from repro.workloads import (
+    LISTING1_SQL,
+    clause_toggle_log,
+    listing1_queries,
+    listing1_sql,
+    mixed_session_log,
+    predicate_add_log,
+    projection_cycle_log,
+    value_drift_log,
+)
+
+FIG1 = (
+    "SELECT sales FROM sales WHERE cty = 'USA'",
+    "SELECT costs FROM sales WHERE cty = 'EUR'",
+    "SELECT costs FROM sales",
+)
+
+
+class TestMining:
+    def test_fig1_mined_widgets(self):
+        result = mine_interface(as_asts(FIG1))
+        controlled = [
+            n for n in result.widget_tree.walk() if n.choice_path is not None
+        ]
+        assert controlled  # at least the projection + where groups
+
+    def test_expressible_fraction_reported(self):
+        result = mine_interface(as_asts(FIG1))
+        assert 0.0 < result.expressible_fraction <= 1.0
+
+    def test_correlated_changes_can_be_lost(self):
+        # Swapping (a,1)<->(b,2) pairwise: the bottom-up miner groups the
+        # column and the literal independently; it still expresses the
+        # inputs (cross products include them) — the point is it
+        # OVER-generalizes rather than structures. Expressibility must
+        # nevertheless be reported honestly.
+        log = [
+            "select x from t where a = 1",
+            "select x from t where a = 2",
+        ]
+        result = mine_interface(as_asts(log))
+        assert result.expressible_fraction == 1.0
+
+    def test_sdss_log_mined(self):
+        result = mine_interface(listing1_queries())
+        assert result.expressible_fraction > 0.0
+        assert result.widget_tree.widget_count() >= 3
+
+    def test_evaluate_mined_populates_cost(self):
+        queries = as_asts(FIG1)
+        model = CostModel(queries, Screen.wide())
+        result = evaluate_mined(model, mine_interface(queries))
+        assert result.evaluation is not None
+        assert result.evaluation.breakdown.m_cost > 0
+
+    def test_single_query_log(self):
+        result = mine_interface(as_asts(["select a from t"]))
+        assert result.expressible_fraction == 1.0
+
+    def test_empty_log_raises(self):
+        with pytest.raises(ValueError):
+            mine_interface([])
+
+
+class TestWorkloads:
+    def test_listing1_has_ten_queries(self):
+        assert len(LISTING1_SQL) == 10
+        assert len(listing1_queries()) == 10
+
+    def test_listing1_first_two_match_paper(self):
+        assert listing1_sql(1, 1)[0] == (
+            "select top 10 objid from stars where u between 0 and 30 "
+            "and g between 0 and 30 and r between 0 and 30 and i between 0 and 30"
+        )
+        assert "top 100 objid from galaxies" in listing1_sql(2, 2)[0]
+
+    def test_queries_6_8_share_where(self):
+        queries = listing1_queries(6, 8)
+        wheres = {to_sql(q).split("WHERE")[1] for q in queries}
+        assert len(wheres) == 1
+
+    def test_queries_6_8_differ_only_in_top_and_table(self):
+        queries = listing1_queries(6, 8)
+        tops = [q.child_by_label("Top").value for q in queries]
+        assert tops == [10, 100, 1000]
+
+    def test_all_queries_share_where_structure(self):
+        for query in listing1_queries():
+            where = query.child_by_label("Where")
+            assert where is not None
+            conjuncts = where.children[0].children
+            assert [c.label for c in conjuncts] == ["Between"] * 4
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ValueError):
+            listing1_sql(0, 3)
+        with pytest.raises(ValueError):
+            listing1_sql(5, 11)
+
+    @pytest.mark.parametrize(
+        "generator",
+        [
+            value_drift_log,
+            clause_toggle_log,
+            predicate_add_log,
+            projection_cycle_log,
+            mixed_session_log,
+        ],
+    )
+    def test_generators_deterministic(self, generator):
+        assert generator(seed=9) == generator(seed=9)
+
+    def test_value_drift_monotone_literal(self):
+        queries = value_drift_log(num_queries=5, seed=1)
+        values = [q.child_by_label("Where").children[0].children[1].value for q in queries]
+        assert values == sorted(values)
+
+    def test_predicate_add_log_grows(self):
+        queries = predicate_add_log(num_queries=4, seed=0)
+        def conjunct_count(q):
+            pred = q.child_by_label("Where").children[0]
+            return len(pred.children) if pred.label == "And" else 1
+        counts = [conjunct_count(q) for q in queries]
+        assert max(counts) > min(counts)
+
+
+class TestPublicAPI:
+    def test_generate_interface_mcts(self):
+        result = generate_interface(
+            FIG1, config=GenerationConfig(time_budget_s=1.0, seed=1)
+        )
+        assert result.cost < float("inf")
+        assert expresses_all(result.difftree, result.queries)
+        assert result.ascii_art.strip()
+        assert "<html" in result.html()
+
+    @pytest.mark.parametrize("strategy", ["random", "greedy", "beam", "exhaustive"])
+    def test_all_strategies_run(self, strategy):
+        result = generate_interface(
+            FIG1,
+            config=GenerationConfig(strategy=strategy, time_budget_s=0.5, seed=0),
+        )
+        assert result.best.breakdown.feasible
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError):
+            generate_interface(
+                FIG1, config=GenerationConfig(strategy="quantum", time_budget_s=0.1)
+            )
+
+    def test_rule_exclusion_via_config(self):
+        result = generate_interface(
+            FIG1,
+            config=GenerationConfig(
+                time_budget_s=0.5, exclude_rules=("Distribute", "UnOptional")
+            ),
+        )
+        assert result.best.breakdown.feasible
+
+    def test_session_from_generated_interface(self):
+        from repro.database import Database, Table
+
+        db = Database(
+            [Table("sales", {"cty": ["USA"], "sales": [1], "costs": [2]})]
+        )
+        result = generate_interface(
+            FIG1, config=GenerationConfig(time_budget_s=0.5, seed=2)
+        )
+        session = result.session(db)
+        assert session.current_sql == to_sql(parse(FIG1[0]))
+        session.run()
+
+    def test_accepts_parsed_asts(self):
+        result = generate_interface(
+            [parse(q) for q in FIG1],
+            config=GenerationConfig(time_budget_s=0.3, seed=0),
+        )
+        assert result.queries == [parse(q) for q in FIG1]
+
+    def test_narrow_screen_interface_fits(self):
+        result = generate_interface(
+            FIG1,
+            screen=Screen.narrow(),
+            config=GenerationConfig(time_budget_s=1.0, seed=1),
+        )
+        assert result.best.breakdown.width <= Screen.narrow().width
+        assert result.best.breakdown.height <= Screen.narrow().height

@@ -1,0 +1,161 @@
+"""Tests for AST node utilities and alignment/diffing."""
+
+import pytest
+
+from repro.sqlast import align_children, alignable, count_differences, diff_paths, parse
+from repro.sqlast import nodes as N
+from repro.sqlast.nodes import Node
+
+
+class TestNodeBasics:
+    def test_immutability(self):
+        node = N.col("a")
+        with pytest.raises(AttributeError):
+            node.value = "b"
+        with pytest.raises(AttributeError):
+            del node.label
+
+    def test_children_must_be_nodes(self):
+        with pytest.raises(TypeError):
+            Node("Project", None, ["not a node"])
+
+    def test_size(self):
+        ast = parse("select a from t where x < 1")
+        assert ast.size == ast.children[0].size + ast.children[1].size + ast.children[2].size + 1
+
+    def test_walk_preorder(self):
+        ast = parse("select a from t")
+        labels = [n.label for n in ast.walk()]
+        assert labels[0] == N.SELECT
+        assert labels[1] == N.PROJECT
+
+    def test_walk_paths_root_is_empty(self):
+        ast = parse("select a from t")
+        paths = dict(ast.walk_paths())
+        assert paths[()] is ast
+        assert paths[(0, 0)].value == "a"
+
+    def test_at_and_replace_at(self):
+        ast = parse("select a from t")
+        assert ast.at((0, 0)).value == "a"
+        new = ast.replace_at((0, 0), N.col("b"))
+        assert new.at((0, 0)).value == "b"
+        assert ast.at((0, 0)).value == "a"  # original untouched
+
+    def test_replace_at_with_none_deletes(self):
+        ast = parse("select a from t where x < 1")
+        new = ast.replace_at((2,), None)
+        assert new.child_by_label(N.WHERE) is None
+
+    def test_replace_root_with_none_raises(self):
+        with pytest.raises(ValueError):
+            parse("select a from t").replace_at((), None)
+
+    def test_child_by_label_missing(self):
+        assert parse("select a from t").child_by_label(N.WHERE) is None
+
+    def test_equality_shortcircuits_on_hash(self):
+        a = parse("select a from t")
+        b = parse("select b from t")
+        assert a != b
+        assert a == parse("select a from t")
+
+    def test_num_rejects_bool(self):
+        with pytest.raises(TypeError):
+            N.num(True)
+
+    def test_num_normalizes_integral_float(self):
+        assert N.num(10.0).value == 10
+        assert isinstance(N.num(10.0).value, int)
+
+    def test_order_item_validates_direction(self):
+        with pytest.raises(ValueError):
+            N.order_item(N.col("a"), "sideways")
+
+
+class TestAlignment:
+    def test_same_label_different_value_aligns(self):
+        assert alignable(N.col("sales"), N.col("costs"))
+
+    def test_structural_value_labels_do_not_align(self):
+        a = N.biexpr("=", N.col("x"), N.num(1))
+        b = N.biexpr("<", N.col("x"), N.num(1))
+        assert not alignable(a, b)
+
+    def test_different_labels_do_not_align(self):
+        assert not alignable(N.col("x"), N.num(1))
+
+    def test_align_children_simple(self):
+        rows = [
+            [N.col("a"), N.num(1)],
+            [N.col("b"), N.num(2)],
+        ]
+        columns = align_children(rows)
+        assert len(columns) == 2
+        assert columns[0][0].value == "a"
+        assert columns[0][1].value == "b"
+
+    def test_align_children_with_missing(self):
+        rows = [
+            [N.col("a"), N.num(1)],
+            [N.col("b")],
+        ]
+        columns = align_children(rows)
+        assert len(columns) == 2
+        assert columns[1][1] is None
+
+    def test_align_children_duplicate_key_fails(self):
+        rows = [[N.col("a"), N.col("b")]]
+        assert align_children(rows) is None
+
+    def test_align_children_conflicting_order_fails(self):
+        rows = [
+            [N.col("a"), N.num(1)],
+            [N.num(2), N.col("b")],
+        ]
+        assert align_children(rows) is None
+
+
+class TestDiffPaths:
+    def test_paper_figure1_q1_q2(self):
+        a = parse("SELECT sales FROM sales WHERE cty = 'USA'")
+        b = parse("SELECT costs FROM sales WHERE cty = 'EUR'")
+        diffs = list(diff_paths(a, b))
+        assert len(diffs) == 2
+        paths = {p for p, _, _ in diffs}
+        assert (0, 0) in paths  # ColExpr sales->costs
+
+    def test_paper_figure1_q2_q3_drops_where(self):
+        b = parse("SELECT costs FROM sales WHERE cty = 'EUR'")
+        c = parse("SELECT costs FROM sales")
+        diffs = list(diff_paths(b, c))
+        assert len(diffs) == 1
+        path, sub_a, sub_b = diffs[0]
+        assert sub_a.label == N.WHERE
+        assert sub_b is None
+
+    def test_identical_queries_no_diff(self):
+        a = parse("select a from t")
+        assert count_differences(a, a) == 0
+
+    def test_insertion_reported(self):
+        a = parse("select a from t")
+        b = parse("select top 5 a from t")
+        diffs = list(diff_paths(a, b))
+        assert len(diffs) == 1
+        _, sub_a, sub_b = diffs[0]
+        assert sub_a is None
+        assert sub_b.label == N.TOP
+
+    def test_root_label_mismatch_is_whole_tree_diff(self):
+        a = N.col("x")
+        b = N.num(1)
+        diffs = list(diff_paths(a, b))
+        assert diffs == [((), a, b)]
+
+    def test_count_differences_monotone_example(self):
+        base = parse("select a from t where x < 1")
+        one = parse("select b from t where x < 1")
+        two = parse("select b from t where x < 9")
+        assert count_differences(base, one) == 1
+        assert count_differences(base, two) == 2

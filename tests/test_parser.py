@@ -1,0 +1,194 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.sqlast import parse, parse_many
+from repro.sqlast import nodes as N
+from repro.sqlast.errors import ParseError
+
+
+class TestSelectStructure:
+    def test_minimal_query(self):
+        ast = parse("select a from t")
+        assert ast.label == N.SELECT
+        assert [c.label for c in ast.children] == [N.PROJECT, N.FROM]
+
+    def test_clause_canonical_order(self):
+        ast = parse(
+            "select top 5 a from t where x < 1 group by a order by a limit 3"
+        )
+        assert [c.label for c in ast.children] == [
+            N.TOP,
+            N.PROJECT,
+            N.FROM,
+            N.WHERE,
+            N.GROUPBY,
+            N.ORDERBY,
+            N.LIMIT,
+        ]
+
+    def test_top_value(self):
+        assert parse("select top 10 a from t").children[0].value == 10
+
+    def test_limit_value(self):
+        ast = parse("select a from t limit 7")
+        assert ast.child_by_label(N.LIMIT).value == 7
+
+    def test_star_projection(self):
+        ast = parse("select * from t")
+        assert ast.child_by_label(N.PROJECT).children[0].label == N.STAR
+
+    def test_multiple_projection_items(self):
+        proj = parse("select a, b, c from t").child_by_label(N.PROJECT)
+        assert [c.value for c in proj.children] == ["a", "b", "c"]
+
+    def test_aggregate_function(self):
+        proj = parse("select count(*) from t").child_by_label(N.PROJECT)
+        func = proj.children[0]
+        assert func.label == N.FUNC
+        assert func.value == "count"
+        assert func.children[0].label == N.STAR
+
+    def test_function_name_lowercased(self):
+        proj = parse("select AVG(u) from t").child_by_label(N.PROJECT)
+        assert proj.children[0].value == "avg"
+
+    def test_alias(self):
+        proj = parse("select count(*) as n from t").child_by_label(N.PROJECT)
+        assert proj.children[0].label == N.ALIAS
+        assert proj.children[0].value == "n"
+
+    def test_qualified_column(self):
+        proj = parse("select t.a from t").child_by_label(N.PROJECT)
+        assert proj.children[0].value == "t.a"
+
+    def test_multiple_tables(self):
+        from_ = parse("select a from t, s").child_by_label(N.FROM)
+        assert [c.value for c in from_.children] == ["t", "s"]
+
+    def test_distinct_is_normalized_away(self):
+        assert parse("select distinct a from t") == parse("select a from t")
+
+
+class TestPredicates:
+    def test_comparison(self):
+        where = parse("select a from t where x < 5").child_by_label(N.WHERE)
+        pred = where.children[0]
+        assert pred.label == N.BIEXPR
+        assert pred.value == "<"
+        assert pred.children[0].value == "x"
+        assert pred.children[1].value == 5
+
+    def test_string_comparison(self):
+        pred = parse("select a from t where c = 'USA'").child_by_label(
+            N.WHERE
+        ).children[0]
+        assert pred.children[1].label == N.STREXPR
+        assert pred.children[1].value == "USA"
+
+    def test_not_equal_normalized(self):
+        pred = parse("select a from t where x != 1").child_by_label(N.WHERE).children[0]
+        assert pred.value == "<>"
+
+    def test_between(self):
+        pred = parse(
+            "select a from t where u between 0 and 30"
+        ).child_by_label(N.WHERE).children[0]
+        assert pred.label == N.BETWEEN
+        assert [c.value for c in pred.children] == ["u", 0, 30]
+
+    def test_in_list(self):
+        pred = parse(
+            "select a from t where c in ('x', 'y')"
+        ).child_by_label(N.WHERE).children[0]
+        assert pred.label == N.INLIST
+        assert len(pred.children) == 3
+
+    def test_and_chain_is_flat(self):
+        pred = parse(
+            "select a from t where x < 1 and y < 2 and z < 3"
+        ).child_by_label(N.WHERE).children[0]
+        assert pred.label == N.AND
+        assert len(pred.children) == 3
+
+    def test_or_of_ands_precedence(self):
+        pred = parse(
+            "select a from t where x < 1 and y < 2 or z < 3"
+        ).child_by_label(N.WHERE).children[0]
+        assert pred.label == N.OR
+        assert pred.children[0].label == N.AND
+
+    def test_parenthesized_or_under_and(self):
+        pred = parse(
+            "select a from t where (x < 1 or y < 2) and z < 3"
+        ).child_by_label(N.WHERE).children[0]
+        assert pred.label == N.AND
+        assert pred.children[0].label == N.OR
+
+    def test_not(self):
+        pred = parse("select a from t where not x = 1").child_by_label(
+            N.WHERE
+        ).children[0]
+        assert pred.label == N.NOT
+
+    def test_single_predicate_has_no_and_wrapper(self):
+        pred = parse("select a from t where x = 1").child_by_label(N.WHERE).children[0]
+        assert pred.label == N.BIEXPR
+
+
+class TestOrderGroup:
+    def test_group_by(self):
+        group = parse("select a, count(*) from t group by a").child_by_label(N.GROUPBY)
+        assert [c.value for c in group.children] == ["a"]
+
+    def test_order_by_default_asc(self):
+        order = parse("select a from t order by a").child_by_label(N.ORDERBY)
+        assert order.children[0].value == "asc"
+
+    def test_order_by_desc(self):
+        order = parse("select a from t order by a desc").child_by_label(N.ORDERBY)
+        assert order.children[0].value == "desc"
+
+    def test_order_by_multiple(self):
+        order = parse("select a from t order by a desc, b").child_by_label(N.ORDERBY)
+        assert len(order.children) == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "select from t",
+            "select a",
+            "select a from",
+            "select a from t where",
+            "select a from t where x",
+            "select top a from t",
+            "select a from t where x between 1",
+            "select a from t extra",
+            "from t select a",
+            "select a from t where x in ()",
+        ],
+    )
+    def test_malformed_queries_raise(self, sql):
+        with pytest.raises(ParseError):
+            parse(sql)
+
+    def test_fractional_top_raises(self):
+        with pytest.raises(ParseError):
+            parse("select top 1.5 a from t")
+
+    def test_error_message_has_context(self):
+        with pytest.raises(ParseError) as err:
+            parse("select a frm t")
+        assert "frm" in str(err.value)
+
+
+class TestParseMany:
+    def test_preserves_order(self):
+        asts = parse_many(["select a from t", "select b from t"])
+        assert asts[0].child_by_label(N.PROJECT).children[0].value == "a"
+        assert asts[1].child_by_label(N.PROJECT).children[0].value == "b"
+
+    def test_empty_list(self):
+        assert parse_many([]) == []

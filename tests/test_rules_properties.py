@@ -1,0 +1,107 @@
+"""Property-based tests: the expressibility invariant.
+
+Every rule application must keep every input query expressible — MCTS
+relies on it to roam the space freely.  We generate random query logs,
+apply random move sequences, and check the invariant plus normalization
+properties at every step.
+"""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.difftree import expresses_all, initial_difftree, is_normalized
+from repro.rules import default_engine
+from repro.sqlast import parse
+
+_COLUMNS = ["u", "g", "r", "i"]
+_TABLES = ["stars", "galaxies"]
+_ITEMS = ["objid", "count(*)", "ra"]
+
+
+@st.composite
+def query_sql(draw):
+    parts = ["select"]
+    if draw(st.booleans()):
+        parts.append(f"top {draw(st.sampled_from([10, 100, 1000]))}")
+    parts.append(draw(st.sampled_from(_ITEMS)))
+    parts.append(f"from {draw(st.sampled_from(_TABLES))}")
+    num_preds = draw(st.integers(min_value=0, max_value=3))
+    if num_preds:
+        conjuncts = []
+        for _ in range(num_preds):
+            column = draw(st.sampled_from(_COLUMNS))
+            lo = draw(st.integers(min_value=0, max_value=10))
+            hi = lo + draw(st.integers(min_value=1, max_value=20))
+            conjuncts.append(f"{column} between {lo} and {hi}")
+        parts.append("where " + " and ".join(conjuncts))
+    return " ".join(parts)
+
+
+@st.composite
+def query_log(draw):
+    size = draw(st.integers(min_value=1, max_value=5))
+    return [draw(query_sql()) for _ in range(size)]
+
+
+class TestExpressibilityInvariant:
+    @given(query_log(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_random_walks_never_lose_a_query(self, sqls, seed):
+        queries = [parse(s) for s in sqls]
+        engine = default_engine()
+        tree = initial_difftree(queries)
+        rng = random.Random(seed)
+        for _ in range(12):
+            move = engine.random_move(tree, rng)
+            if move is None:
+                break
+            tree = engine.apply(tree, move)
+            assert expresses_all(tree, queries), (
+                f"lost a query after {move}:\n{sqls}"
+            )
+
+    @given(query_log(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_applied_states_stay_normalized(self, sqls, seed):
+        queries = [parse(s) for s in sqls]
+        engine = default_engine()
+        tree = initial_difftree(queries)
+        rng = random.Random(seed)
+        for _ in range(8):
+            move = engine.random_move(tree, rng)
+            if move is None:
+                break
+            tree = engine.apply(tree, move)
+            assert is_normalized(tree)
+
+    @given(query_log())
+    @settings(max_examples=40, deadline=None)
+    def test_every_enumerated_move_preserves_expressibility(self, sqls):
+        queries = [parse(s) for s in sqls]
+        engine = default_engine()
+        tree = initial_difftree(queries)
+        for move in engine.moves(tree):
+            successor = engine.apply(tree, move)
+            assert expresses_all(successor, queries), f"move {move} lost a query"
+
+    @given(query_log(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_assignments_exist_and_instantiate_back(self, sqls, seed):
+        from repro.difftree import assignment_for
+        from repro.interface import instantiate
+
+        queries = [parse(s) for s in sqls]
+        engine = default_engine()
+        tree = initial_difftree(queries)
+        rng = random.Random(seed)
+        for _ in range(6):
+            move = engine.random_move(tree, rng)
+            if move is None:
+                break
+            tree = engine.apply(tree, move)
+        for query in queries:
+            assignment = assignment_for(tree, query)
+            assert assignment is not None
+            assert instantiate(tree, assignment) == query
