@@ -1,0 +1,153 @@
+"""BENCH-INC: incremental warm-started serving vs cold restarts.
+
+The serving claim (ISSUE 1 / `repro.serve`): on a growing query log,
+extending the previous difftree and warm-starting MCTS beats restarting
+the search from scratch at the same per-step time budget, and an exact
+repeat of a served log is answered from the interface cache without any
+search at all.
+
+Unlike the other benches this is a standalone script (it is also the CI
+smoke target), runnable without pytest:
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py \
+        --queries 20 --chunk 5 --budget 0.8 --json BENCH_incremental.json
+
+The JSON artifact records per-step cold/warm cost and wall-clock so
+future PRs can track the serving-performance trajectory.  With
+``--strict`` the script exits non-zero unless warm's final cost is <=
+cold's and the cache-repeat ran zero search iterations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List
+
+from repro import GenerationConfig, IncrementalGenerator, generate_interface
+from repro.workloads import sdss_session_sql
+
+
+def run(
+    num_queries: int,
+    chunk: int,
+    budget_s: float,
+    seed: int,
+) -> dict:
+    """Grow the log chunk-by-chunk; generate warm and cold at each step."""
+    log = sdss_session_sql(num_queries, seed=0)
+    config = GenerationConfig(time_budget_s=budget_s, seed=seed)
+    service = IncrementalGenerator(config=config)
+
+    steps: List[dict] = []
+    warm = cold = None
+    for start in range(0, num_queries, chunk):
+        prefix = log[: start + chunk]
+        service.append(*log[start : start + chunk])
+
+        t0 = time.perf_counter()
+        warm = service.generate()
+        warm_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        cold = generate_interface(prefix, config=config)
+        cold_s = time.perf_counter() - t0
+
+        steps.append(
+            {
+                "log_size": len(prefix),
+                "warm_cost": warm.cost,
+                "warm_seconds": round(warm_s, 3),
+                "warm_iterations": warm.search.stats.iterations,
+                "warm_states_seeded": warm.search.stats.warm_states_seeded,
+                "cold_cost": cold.cost,
+                "cold_seconds": round(cold_s, 3),
+                "cold_iterations": cold.search.stats.iterations,
+            }
+        )
+
+    # Exact repeat of the final log: must come from the cache, running
+    # zero additional searches.
+    searches_before = service.searches_run
+    t0 = time.perf_counter()
+    repeat = service.generate()
+    repeat_s = time.perf_counter() - t0
+    cache_hit = repeat is warm and service.searches_run == searches_before
+
+    return {
+        "bench": "incremental",
+        "queries": num_queries,
+        "chunk": chunk,
+        "budget_s": budget_s,
+        "seed": seed,
+        "steps": steps,
+        "final_warm_cost": warm.cost,
+        "final_cold_cost": cold.cost,
+        "warm_beats_cold": warm.cost <= cold.cost + 1e-9,
+        "cache_repeat": {
+            "hit": cache_hit,
+            "seconds": round(repeat_s, 6),
+            "new_searches": service.searches_run - searches_before,
+        },
+        "cache_stats": {
+            "hits": service.cache.stats.hits,
+            "misses": service.cache.stats.misses,
+            "evictions": service.cache.stats.evictions,
+            "prefix_hits": service.cache.stats.prefix_hits,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--queries", type=int, default=20, help="total log size")
+    parser.add_argument("--chunk", type=int, default=5, help="queries appended per step")
+    parser.add_argument("--budget", type=float, default=0.8, help="per-step search budget (s)")
+    parser.add_argument("--seed", type=int, default=0, help="search RNG seed")
+    parser.add_argument("--json", metavar="PATH", help="write machine-readable results")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero unless warm <= cold and the cache repeat skipped search",
+    )
+    args = parser.parse_args(argv)
+    if args.queries < 1 or args.chunk < 1 or args.budget <= 0:
+        parser.error("--queries and --chunk must be >= 1, --budget > 0")
+
+    result = run(args.queries, args.chunk, args.budget, args.seed)
+
+    header = f"{'log':>5}  {'warm cost':>10}  {'warm s':>7}  {'cold cost':>10}  {'cold s':>7}"
+    print("\n=== BENCH-INC — warm-started incremental vs cold restart ===")
+    print(header)
+    print("-" * len(header))
+    for step in result["steps"]:
+        print(
+            f"{step['log_size']:>5}  {step['warm_cost']:>10.2f}  {step['warm_seconds']:>7.2f}"
+            f"  {step['cold_cost']:>10.2f}  {step['cold_seconds']:>7.2f}"
+        )
+    repeat = result["cache_repeat"]
+    print(
+        f"\nfinal: warm {result['final_warm_cost']:.2f} vs cold "
+        f"{result['final_cold_cost']:.2f} -> "
+        f"{'WARM <= COLD' if result['warm_beats_cold'] else 'COLD BETTER (!)'}"
+    )
+    print(
+        f"cache repeat: {'HIT' if repeat['hit'] else 'MISS (!)'} in "
+        f"{repeat['seconds'] * 1000:.1f} ms, {repeat['new_searches']} new searches"
+    )
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    if args.strict and not (result["warm_beats_cold"] and repeat["hit"]):
+        print("STRICT: acceptance criteria not met", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,17 +16,46 @@ Quick start::
     ]
     result = generate_interface(log, screen=Screen.wide())
     print(result.ascii_art)
+
+For serving growing logs (incremental regeneration, caching, batch
+fan-out), see :mod:`repro.serve`::
+
+    from repro import IncrementalGenerator
+
+    service = IncrementalGenerator()
+    service.append(*log)
+    print(service.generate().ascii_art)   # cold search
+    service.append("select top 10 objid from galaxies where g between 1 and 9")
+    print(service.generate().ascii_art)   # warm-started incremental search
 """
 
-from .core import GeneratedInterface, GenerationConfig, generate_interface
+from .core import (
+    STRATEGIES,
+    GeneratedInterface,
+    GenerationConfig,
+    generate_interface,
+)
 from .layout import Screen
+from .serve import (
+    IncrementalGenerator,
+    InterfaceCache,
+    LogStream,
+    SessionRouter,
+    generate_interfaces_batch,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "generate_interface",
     "GenerationConfig",
     "GeneratedInterface",
+    "STRATEGIES",
     "Screen",
+    "IncrementalGenerator",
+    "InterfaceCache",
+    "LogStream",
+    "SessionRouter",
+    "generate_interfaces_batch",
     "__version__",
 ]

@@ -1,10 +1,19 @@
 """Top-level API."""
 
-from .api import STRATEGIES, GeneratedInterface, GenerationConfig, generate_interface
+from .api import (
+    STRATEGIES,
+    GeneratedInterface,
+    GenerationConfig,
+    as_mcts_config,
+    generate_interface,
+    prepare_search,
+)
 
 __all__ = [
     "generate_interface",
     "GenerationConfig",
     "GeneratedInterface",
     "STRATEGIES",
+    "as_mcts_config",
+    "prepare_search",
 ]

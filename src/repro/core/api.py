@@ -8,12 +8,14 @@
         config=GenerationConfig(time_budget_s=10.0),
     )
     print(result.ascii_art)
+
+For repeated generation over a growing log, see :mod:`repro.serve`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..cost import CostModel, CostWeights, EvaluatedInterface
 from ..database import Database
@@ -32,8 +34,6 @@ from ..search import (
 )
 from ..sqlast import Node
 
-STRATEGIES = ("mcts", "random", "greedy", "beam", "exhaustive")
-
 
 @dataclass(frozen=True)
 class GenerationConfig:
@@ -45,6 +45,8 @@ class GenerationConfig:
         k_assignments: widget-assignment samples per state reward.
         exploration_c: UCT exploration constant (MCTS only).
         max_walk_steps: random-walk cap (paper: 200).
+        max_iterations: hard iteration cap, 0 = unlimited (MCTS only;
+            useful for deterministic equal-work comparisons).
         seed: RNG seed for reproducible generation.
         weights: cost-term weights.
         exclude_rules: rule names to disable (ablations).
@@ -56,6 +58,7 @@ class GenerationConfig:
     k_assignments: int = 5
     exploration_c: float = 1.4
     max_walk_steps: int = 200
+    max_iterations: int = 0
     seed: int = 0
     weights: CostWeights = field(default_factory=CostWeights)
     exclude_rules: Sequence[str] = ()
@@ -100,11 +103,124 @@ class GeneratedInterface:
         )
 
 
+def as_mcts_config(config: GenerationConfig) -> MCTSConfig:
+    """Project the end-to-end settings onto the MCTS tunables."""
+    return MCTSConfig(
+        exploration_c=config.exploration_c,
+        max_walk_steps=config.max_walk_steps,
+        k_assignments=config.k_assignments,
+        time_budget_s=config.time_budget_s,
+        max_iterations=config.max_iterations,
+        seed=config.seed,
+        final_cap=config.final_cap,
+    )
+
+
+def prepare_search(
+    queries: Sequence[Union[str, Node]],
+    screen: Optional[Screen] = None,
+    config: Optional[GenerationConfig] = None,
+    engine: Optional[RuleEngine] = None,
+) -> Tuple[List[Node], Screen, CostModel, DTNode, RuleEngine]:
+    """Build the shared search ingredients for a query log.
+
+    Used by :func:`generate_interface` and by :mod:`repro.serve`, which
+    drives the search itself (to warm-start and to keep the node table).
+    """
+    config = config or GenerationConfig()
+    asts = as_asts(queries)
+    screen = screen or Screen.wide()
+    engine = engine or default_engine(exclude=config.exclude_rules or None)
+    model = CostModel(asts, screen, weights=config.weights)
+    initial = initial_difftree(asts)
+    return asts, screen, model, initial, engine
+
+
+def _require_cold(warm_states: Sequence[DTNode], strategy: str) -> None:
+    if warm_states:
+        raise ValueError(f"warm_states requires strategy 'mcts', not {strategy!r}")
+
+
+def _run_mcts(model, initial, engine, config, warm_states):
+    return mcts_search(
+        model,
+        initial,
+        engine=engine,
+        config=as_mcts_config(config),
+        warm_states=warm_states,
+    )
+
+
+def _run_random(model, initial, engine, config, warm_states):
+    _require_cold(warm_states, "random")
+    return random_search(
+        model,
+        initial,
+        engine=engine,
+        time_budget_s=config.time_budget_s,
+        max_walk_steps=config.max_walk_steps,
+        k_assignments=config.k_assignments,
+        seed=config.seed,
+        final_cap=config.final_cap,
+    )
+
+
+def _run_greedy(model, initial, engine, config, warm_states):
+    _require_cold(warm_states, "greedy")
+    return greedy_search(
+        model,
+        initial,
+        engine=engine,
+        time_budget_s=config.time_budget_s,
+        k_assignments=config.k_assignments,
+        seed=config.seed,
+        final_cap=config.final_cap,
+    )
+
+
+def _run_beam(model, initial, engine, config, warm_states):
+    _require_cold(warm_states, "beam")
+    return beam_search(
+        model,
+        initial,
+        engine=engine,
+        time_budget_s=config.time_budget_s,
+        k_assignments=config.k_assignments,
+        seed=config.seed,
+        final_cap=config.final_cap,
+    )
+
+
+def _run_exhaustive(model, initial, engine, config, warm_states):
+    _require_cold(warm_states, "exhaustive")
+    return exhaustive_search(
+        model,
+        initial,
+        engine=engine,
+        k_assignments=config.k_assignments,
+        seed=config.seed,
+        final_cap=config.final_cap,
+    )
+
+
+#: Strategy name -> runner(model, initial, engine, config, warm_states).
+_RUNNERS: Dict[str, Callable[..., SearchResult]] = {
+    "mcts": _run_mcts,
+    "random": _run_random,
+    "greedy": _run_greedy,
+    "beam": _run_beam,
+    "exhaustive": _run_exhaustive,
+}
+
+STRATEGIES = tuple(_RUNNERS)
+
+
 def generate_interface(
     queries: Sequence[Union[str, Node]],
     screen: Optional[Screen] = None,
-    config: GenerationConfig = GenerationConfig(),
+    config: Optional[GenerationConfig] = None,
     engine: Optional[RuleEngine] = None,
+    warm_states: Sequence[DTNode] = (),
 ) -> GeneratedInterface:
     """Generate an interactive interface for a SQL query log.
 
@@ -113,78 +229,27 @@ def generate_interface(
             session order (order matters: the ``U`` cost models stepping
             through the log sequentially).
         screen: output screen constraint (default: wide).
-        config: generation settings.
+        config: generation settings (default: ``GenerationConfig()``).
         engine: custom rule engine (default: the paper's full rule set,
             optionally filtered by ``config.exclude_rules``).
+        warm_states: known-good difftree states (expressing the full
+            log) used to seed the MCTS transposition table and incumbent
+            — the warm-start path used by :mod:`repro.serve`.
 
     Returns:
         A :class:`GeneratedInterface` bundling the winning difftree,
         widget tree, cost, and search diagnostics.
     """
-    asts = as_asts(queries)
-    screen = screen or Screen.wide()
-    engine = engine or default_engine(exclude=config.exclude_rules or None)
-    model = CostModel(asts, screen, weights=config.weights)
-    initial = initial_difftree(asts)
-
-    if config.strategy == "mcts":
-        result = mcts_search(
-            model,
-            initial,
-            engine=engine,
-            config=MCTSConfig(
-                exploration_c=config.exploration_c,
-                max_walk_steps=config.max_walk_steps,
-                k_assignments=config.k_assignments,
-                time_budget_s=config.time_budget_s,
-                seed=config.seed,
-                final_cap=config.final_cap,
-            ),
-        )
-    elif config.strategy == "random":
-        result = random_search(
-            model,
-            initial,
-            engine=engine,
-            time_budget_s=config.time_budget_s,
-            max_walk_steps=config.max_walk_steps,
-            k_assignments=config.k_assignments,
-            seed=config.seed,
-            final_cap=config.final_cap,
-        )
-    elif config.strategy == "greedy":
-        result = greedy_search(
-            model,
-            initial,
-            engine=engine,
-            time_budget_s=config.time_budget_s,
-            k_assignments=config.k_assignments,
-            seed=config.seed,
-            final_cap=config.final_cap,
-        )
-    elif config.strategy == "beam":
-        result = beam_search(
-            model,
-            initial,
-            engine=engine,
-            time_budget_s=config.time_budget_s,
-            k_assignments=config.k_assignments,
-            seed=config.seed,
-            final_cap=config.final_cap,
-        )
-    elif config.strategy == "exhaustive":
-        result = exhaustive_search(
-            model,
-            initial,
-            engine=engine,
-            k_assignments=config.k_assignments,
-            seed=config.seed,
-            final_cap=config.final_cap,
-        )
-    else:
+    config = config or GenerationConfig()
+    asts, screen, model, initial, engine = prepare_search(
+        queries, screen=screen, config=config, engine=engine
+    )
+    runner = _RUNNERS.get(config.strategy)
+    if runner is None:
         raise ValueError(
             f"unknown strategy {config.strategy!r} (have: {', '.join(STRATEGIES)})"
         )
+    result = runner(model, initial, engine, config, tuple(warm_states))
     return GeneratedInterface(
         queries=asts, screen=screen, search=result, best=result.best
     )

@@ -11,7 +11,9 @@ from typing import List, Sequence, Union
 
 from ..sqlast import nodes as N
 from ..sqlast.parser import parse
+from .antiunify import anti_unify, graft
 from .dtnodes import DTNode, any_node, wrap_ast
+from .express import expresses
 from .normalize import normalize
 
 QueryLike = Union[str, N.Node]
@@ -48,3 +50,32 @@ def initial_difftree(queries: Sequence[QueryLike]) -> DTNode:
     if len(unique) == 1:
         return normalize(wrap_ast(unique[0]))
     return normalize(any_node([wrap_ast(ast) for ast in unique]))
+
+
+def extend_difftree(tree: DTNode, new_queries: Sequence[QueryLike]) -> DTNode:
+    """Incrementally extend ``tree`` to also express appended queries.
+
+    The incremental-serving primitive (:mod:`repro.serve`): instead of
+    rebuilding the initial state from the full log and searching from
+    scratch, merge only the *new* queries into an already-optimized
+    difftree.  Queries the tree already expresses are skipped, so
+    appending duplicates (the common case in real session logs) returns
+    ``tree`` unchanged — same canonical key, zero structural churn.
+
+    Each unexpressed query is :func:`~repro.difftree.antiunify.graft`-ed
+    in (deep choice-domain extension, preserving the optimized layout);
+    if the graft misses — repetition runs are approximate — the sound
+    but coarser :func:`anti_unify` root merge is used instead.  Either
+    way the result expresses everything ``tree`` expressed plus every
+    new query, making it a valid warm-start state for the grown log.
+    """
+    current = tree
+    for ast in as_asts(new_queries):
+        if expresses(current, ast):
+            continue
+        wrapped = wrap_ast(ast)
+        merged = graft(current, wrapped)
+        if not expresses(merged, ast):
+            merged = anti_unify(current, wrapped)
+        current = merged
+    return current

@@ -104,6 +104,12 @@ class DTNode:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Slotted + immutable blocks pickle's default setattr-based path;
+        # rebuilding through __init__ keeps process-pool transport
+        # (repro.serve.batch) working and recomputes the cached key.
+        return (DTNode, (self.kind, self.label, self.value, self.children))
+
     def __eq__(self, other: object) -> bool:
         if self is other:
             return True

@@ -21,7 +21,14 @@ from ..difftree import DTNode
 
 @dataclass
 class SearchStats:
-    """Counters shared by all strategies."""
+    """Counters shared by all strategies.
+
+    ``frontier_peak`` / ``frontier_refreshes`` are MCTS-only: the largest
+    unexpanded-frontier size seen, and how many stale heap entries the
+    lazy UCT max-heap re-scored on pop (see ``MCTS._select``).
+    ``warm_states_seeded`` counts warm-start states injected into the
+    transposition table before the search loop (``repro.serve``).
+    """
 
     iterations: int = 0
     states_evaluated: int = 0
@@ -29,6 +36,9 @@ class SearchStats:
     walk_steps: int = 0
     max_fanout: int = 0
     max_depth: int = 0
+    frontier_peak: int = 0
+    frontier_refreshes: int = 0
+    warm_states_seeded: int = 0
 
 
 @dataclass
@@ -70,6 +80,9 @@ class StateEvaluator:
         self.k_assignments = k_assignments
         self.rng = random.Random(seed)
         self._cache: Dict[str, EvaluatedInterface] = {}
+        #: Canonical keys already given the exhaustive widget pass (at the
+        #: cap they were evaluated with) — lets finalize skip a recompute.
+        self._exhaustive: Dict[str, int] = {}
         self.best: Optional[EvaluatedInterface] = None
         self.history: List[Tuple[float, float]] = []
         self._clock_start = time.perf_counter()
@@ -101,11 +114,40 @@ class StateEvaluator:
             self.history.append((self.elapsed, evaluated.cost))
         return evaluated
 
+    def seed_incumbent(self, state: DTNode, final_cap: int = 4000) -> EvaluatedInterface:
+        """Thoroughly evaluate a known-good state before a search starts.
+
+        The warm-start path of :mod:`repro.serve` calls this with the
+        previous run's best difftree (extended to the appended queries)
+        so the incumbent — and the adaptive reward normalization of any
+        strategy sharing this evaluator — starts from the prior optimum
+        instead of from scratch.  Uses the exhaustive widget pass rather
+        than ``k`` samples: a seed's incumbent entry must reflect its
+        true quality, or one unlucky sampled assignment lets a weaker
+        state steal the incumbent and the warm start loses its floor.
+        """
+        key = state.canonical_key
+        evaluated = exhaustive_evaluation(self.model, state, cap=final_cap)
+        self._cache[key] = evaluated
+        self._exhaustive[key] = final_cap
+        self.stats.states_evaluated += 1
+        if self.best is None or evaluated.rank < self.best.rank:
+            self.best = evaluated
+            self.history.append((self.elapsed, evaluated.cost))
+        return evaluated
+
     def finalize(self, final_cap: int = 4000) -> EvaluatedInterface:
         """Paper's final phase: thorough widget optimization of the winner."""
         if self.best is None:
             raise RuntimeError("no state was evaluated")
+        key = self.best.tree.canonical_key
+        if self._exhaustive.get(key, 0) >= final_cap:
+            # Already exhaustively optimized (a warm-start seed that kept
+            # the incumbent) — the most expensive pass of a serving run
+            # must not be paid twice for the same tree.
+            return self.best
         optimized = exhaustive_evaluation(self.model, self.best.tree, cap=final_cap)
+        self._exhaustive[key] = final_cap
         if optimized.rank < self.best.rank:
             self.best = optimized
             self.history.append((self.elapsed, optimized.cost))

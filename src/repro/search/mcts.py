@@ -18,15 +18,30 @@ Faithful to the paper's description:
 
 States are deduplicated by canonical key (a transposition table), so the
 UCT statistics of a state reached along two rewrite orders are shared.
+
+Frontier selection uses a *lazy* max-heap keyed by UCT: entries are
+pushed with the score current at push time, and a popped entry whose
+stored score no longer matches the node's current UCT is re-pushed with
+the fresh score instead of being selected.  Scores drift only through
+visit-count updates (slowly, via the ``sqrt(ln N / n)`` term), so almost
+all pops are exact and selection is O(log n) amortized instead of the
+O(frontier) linear scan.
+
+The search can be *warm-started* for incremental serving
+(:mod:`repro.serve`): a prior node table can be injected at construction
+and known-good states (e.g. the previous run's best difftree extended to
+newly appended queries) can seed the transposition table and the
+incumbent before the first iteration.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cost import CostModel
 from ..difftree import DTNode
@@ -35,6 +50,9 @@ from .common import SearchResult, StateEvaluator, normalized_reward
 
 #: The compressing (forward) rules used by the biased rollout policy.
 _FORWARD_RULES = ("Lift", "Any2All", "Optional", "Multi")
+
+#: Score drift below this is treated as exact when validating heap entries.
+_SCORE_EPS = 1e-12
 
 
 @dataclass(frozen=True)
@@ -71,6 +89,10 @@ class MCTSConfig:
             walk state (the paper scores only the final state; sampling a
             few interior states lets the incumbent catch good states a
             walk merely passes through).
+        warm_seed_budget_frac: at most this fraction of the time budget
+            may be spent evaluating warm-start states before the search
+            loop — seeding many large states must not starve the search
+            itself.
         seed: RNG seed; fixed seed ⇒ reproducible searches.
         final_cap: widget-enumeration cap for the final phase.
     """
@@ -85,6 +107,7 @@ class MCTSConfig:
     walk_eval_prob: float = 0.3
     max_children: int = 24
     rollouts_per_expansion: int = 6
+    warm_seed_budget_frac: float = 0.5
     seed: int = 0
     final_cap: int = 4000
 
@@ -103,41 +126,82 @@ class _TreeNode:
 
 
 class MCTS:
-    """One reusable search instance (per query log / screen / config)."""
+    """One reusable search instance (per query log / screen / config).
+
+    Args:
+        model: cost model for the (full, current) query log.
+        engine: rewrite-rule engine.
+        config: search tunables.
+        evaluator: optional pre-built state evaluator to reuse (its
+            incumbent and history carry into this search).
+        node_table: optional transposition table to start from; every
+            unexpanded entry re-enters the selection frontier.  Entries
+            must describe states valid for *this* search's query log —
+            :mod:`repro.serve` extends prior states to appended queries
+            before injecting them.
+    """
 
     def __init__(
         self,
         model: CostModel,
         engine: Optional[RuleEngine] = None,
         config: MCTSConfig = MCTSConfig(),
+        evaluator: Optional[StateEvaluator] = None,
+        node_table: Optional[Dict[str, _TreeNode]] = None,
     ) -> None:
         self.model = model
         self.engine = engine or default_engine()
         self.config = config
         self.rng = random.Random(config.seed)
-        self.evaluator = StateEvaluator(
+        self.evaluator = evaluator or StateEvaluator(
             model, k_assignments=config.k_assignments, seed=config.seed
         )
-        self.nodes: Dict[str, _TreeNode] = {}
-        self.frontier: List[str] = []
+        self.nodes: Dict[str, _TreeNode] = node_table if node_table is not None else {}
+        #: Unexpanded node keys eligible for selection.
+        self.frontier: set = set()
+        self._heap: List[Tuple[float, int, str]] = []
+        self._heap_seq = 0
         self._best_seen_cost = math.inf
         self._worst_seen_cost = -math.inf
         self._deadline = math.inf
 
     # -- public API ---------------------------------------------------------
 
-    def search(self, initial: DTNode) -> SearchResult:
-        """Run the search from ``initial`` and return the optimized result."""
+    def search(
+        self, initial: DTNode, warm_states: Sequence[DTNode] = ()
+    ) -> SearchResult:
+        """Run the search from ``initial`` and return the optimized result.
+
+        Args:
+            initial: the root state (``ANY`` over the query log).
+            warm_states: states expressing the full log that seed the
+                transposition table and the incumbent before the first
+                iteration (typically the previous run's best difftree
+                extended to the appended queries).  Seeding costs budget
+                like any other evaluation, so warm and cold runs at the
+                same ``time_budget_s`` are directly comparable.
+        """
         config = self.config
         self.evaluator.restart_clock()
-        root = _TreeNode(state=initial, parent_key=None, depth=0)
+        self._deadline = time.perf_counter() + config.time_budget_s
+
         root_key = initial.canonical_key
-        self.nodes[root_key] = root
-        self.frontier = [root_key]
+        root = self.nodes.get(root_key)
+        if root is None:
+            root = _TreeNode(state=initial, parent_key=None, depth=0)
+            self.nodes[root_key] = root
+        # Rebuild the frontier: every known-but-unexpanded state competes
+        # for selection (covers both a fresh root and an injected table).
+        self.frontier = set()
+        self._heap = []
+        for key, node in self.nodes.items():
+            if not node.expanded:
+                self._enter_frontier(key)
         self._observe_cost(self.evaluator.evaluate(initial).cost)
         self._backpropagate(root_key, self._reward_of(initial))
 
-        self._deadline = time.perf_counter() + config.time_budget_s
+        self._seed_warm_states(root_key, warm_states)
+
         while True:
             if config.max_iterations and self.evaluator.stats.iterations >= config.max_iterations:
                 break
@@ -160,29 +224,101 @@ class MCTS:
 
     # -- internals -----------------------------------------------------------
 
+    def _seed_warm_states(
+        self, root_key: str, warm_states: Sequence[DTNode]
+    ) -> None:
+        """Inject known-good states as direct children of the root."""
+        config = self.config
+        seed_deadline = min(
+            self._deadline,
+            self._deadline
+            - config.time_budget_s * (1.0 - config.warm_seed_budget_frac),
+        )
+        primary = True
+        for state in warm_states:
+            if time.perf_counter() >= seed_deadline:
+                break
+            key = state.canonical_key
+            if key == root_key:
+                continue
+            node = self.nodes.get(key)
+            if node is None:
+                node = _TreeNode(state=state, parent_key=root_key, depth=1)
+                self.nodes[key] = node
+                self._enter_frontier(key)
+            if primary:
+                # The first seed (the extended prior best) gets the
+                # thorough widget pass: it is the incumbent *floor*, and
+                # one unlucky sampled assignment must not let a weaker
+                # state steal the incumbent from it.  Further seeds only
+                # guide UCT — sampling is enough and far cheaper.
+                primary = False
+                evaluated = self.evaluator.seed_incumbent(
+                    state, final_cap=config.final_cap
+                )
+                self._observe_cost(evaluated.cost)
+                reward = normalized_reward(
+                    evaluated.cost, self._best_seen_cost, self._worst_seen_cost
+                )
+            else:
+                reward = self._reward_of(state)
+            self._backpropagate(key, reward)
+            self.evaluator.stats.warm_states_seeded += 1
+
+    def _enter_frontier(self, key: str) -> None:
+        self.frontier.add(key)
+        self._push(key)
+        self.evaluator.stats.frontier_peak = max(
+            self.evaluator.stats.frontier_peak, len(self.frontier)
+        )
+
+    def _push(self, key: str) -> None:
+        self._heap_seq += 1
+        heapq.heappush(self._heap, (-self._uct(key), self._heap_seq, key))
+
+    def _uct(self, key: str) -> float:
+        node = self.nodes[key]
+        if node.visits == 0:
+            return math.inf
+        parent = self.nodes.get(node.parent_key) if node.parent_key else None
+        parent_visits = parent.visits if parent else node.visits
+        explore = self.config.exploration_c * math.sqrt(
+            math.log(max(parent_visits, 1) + 1) / node.visits
+        )
+        return node.mean_reward() + explore
+
     def _iterate(self) -> None:
         key = self._select()
         node = self.nodes[key]
         node.expanded = True
-        self.frontier.remove(key)
+        self.frontier.discard(key)
         self.evaluator.stats.states_expanded += 1
 
-        neighbors = self.engine.neighbors(node.state)
+        # Sample moves *before* materializing successors: applying a move
+        # costs O(subtree), so building every neighbor of a large serving
+        # state (fanouts reach the thousands) just to sample max_children
+        # of them afterwards would dominate the iteration.
+        moves = self.engine.moves(node.state)
         self.evaluator.stats.max_fanout = max(
-            self.evaluator.stats.max_fanout, len(neighbors)
+            self.evaluator.stats.max_fanout, len(moves)
         )
-        if len(neighbors) > self.config.max_children:
-            neighbors = self.rng.sample(neighbors, self.config.max_children)
+        if len(moves) > self.config.max_children:
+            moves = self.rng.sample(moves, self.config.max_children)
         simulations_left = self.config.rollouts_per_expansion
-        for _, successor in neighbors:
+        seen_children = {key}
+        for move in moves:
+            successor = self.engine.apply(node.state, move)
             child_key = successor.canonical_key
+            if child_key in seen_children:
+                continue  # self-loop or duplicate under normalization
+            seen_children.add(child_key)
             child = self.nodes.get(child_key)
             if child is None:
                 child = _TreeNode(
                     state=successor, parent_key=key, depth=node.depth + 1
                 )
                 self.nodes[child_key] = child
-                self.frontier.append(child_key)
+                self._enter_frontier(child_key)
                 self.evaluator.stats.max_depth = max(
                     self.evaluator.stats.max_depth, child.depth
                 )
@@ -202,24 +338,36 @@ class MCTS:
                 break
 
     def _select(self) -> str:
-        """Frontier state with the highest UCT."""
-        config = self.config
-        best_key = self.frontier[0]
-        best_score = -math.inf
-        for key in self.frontier:
-            node = self.nodes[key]
-            if node.visits == 0:
+        """Frontier state with the (approximately) highest UCT.
+
+        Pops the best stored score; a stale entry (its node's UCT changed
+        since the push, or the node already left the frontier) is
+        discarded or re-pushed with the fresh score.  Within one call no
+        statistics change, so each key is re-pushed at most once and the
+        loop terminates.
+
+        Laziness is one-sided: an entry whose current score *dropped* is
+        always caught on pop, but one whose score *rose* (its parent's
+        visit count grew through siblings) keeps its old, lower heap
+        position until popped, so selection can briefly prefer another
+        near-maximal node.  The rise is bounded by the slow-growing
+        ``sqrt(ln N / n)`` term — and is identical for siblings sharing
+        the parent, preserving their relative order — which is the
+        trade accepted for O(log n) selection over the O(frontier) scan.
+        """
+        while self._heap:
+            neg_score, _, key = heapq.heappop(self._heap)
+            if key not in self.frontier:
+                continue
+            current = self._uct(key)
+            if current == -neg_score or abs(current + neg_score) <= _SCORE_EPS:
                 return key
-            parent = self.nodes.get(node.parent_key) if node.parent_key else None
-            parent_visits = parent.visits if parent else node.visits
-            explore = config.exploration_c * math.sqrt(
-                math.log(max(parent_visits, 1) + 1) / node.visits
-            )
-            score = node.mean_reward() + explore
-            if score > best_score:
-                best_score = score
-                best_key = key
-        return best_key
+            self.evaluator.stats.frontier_refreshes += 1
+            self._push(key)
+        # The heap only empties if the frontier did too; callers check
+        # the frontier before iterating, so this is unreachable in the
+        # search loop — kept as a hard failure for misuse.
+        raise RuntimeError("selection on an empty frontier")
 
     def _simulate(self, state: DTNode) -> float:
         """Random walk of up to ``max_walk_steps``; reward of final state."""
@@ -273,6 +421,9 @@ def mcts_search(
     initial: DTNode,
     engine: Optional[RuleEngine] = None,
     config: MCTSConfig = MCTSConfig(),
+    warm_states: Sequence[DTNode] = (),
 ) -> SearchResult:
-    """Convenience wrapper: run one MCTS search."""
-    return MCTS(model, engine=engine, config=config).search(initial)
+    """Convenience wrapper: run one MCTS search (optionally warm-started)."""
+    return MCTS(model, engine=engine, config=config).search(
+        initial, warm_states=warm_states
+    )

@@ -1,0 +1,35 @@
+"""repro.serve — incremental, cached, multi-process interface generation.
+
+The serving layer over the one-shot :func:`repro.generate_interface`
+pipeline:
+
+* :class:`LogStream` / :class:`SessionRouter` — sharded append-only
+  ingestion with parse-once AST caching.
+* :class:`InterfaceCache` — LRU keyed by the canonical key of the
+  normalized log; exact hits skip search entirely, prefix hits feed
+  warm starts.
+* :class:`IncrementalGenerator` — extends the previous difftree to
+  appended queries by anti-unification and warm-starts MCTS from the
+  prior run's transposition table and incumbent.
+* :func:`generate_interfaces_batch` — fans independent logs across a
+  process pool with a shared config.
+"""
+
+from .batch import EXECUTORS, generate_interfaces_batch
+from .cache import CacheStats, InterfaceCache, PrefixMatch, context_key, log_key
+from .incremental import DEFAULT_SESSION, IncrementalGenerator
+from .stream import LogStream, SessionRouter
+
+__all__ = [
+    "LogStream",
+    "SessionRouter",
+    "InterfaceCache",
+    "CacheStats",
+    "PrefixMatch",
+    "log_key",
+    "context_key",
+    "IncrementalGenerator",
+    "DEFAULT_SESSION",
+    "generate_interfaces_batch",
+    "EXECUTORS",
+]

@@ -1,0 +1,196 @@
+"""Incremental, warm-started interface generation over growing logs.
+
+Cold generation re-parses the log, rebuilds the initial state, and
+searches from scratch on every call.  For an append-only session stream
+that is wasted work: the optimized difftree for the first ``n`` queries
+is one anti-unification away from a valid — and usually near-optimal —
+state for the first ``n + m``.  :class:`IncrementalGenerator` exploits
+that in three layers:
+
+1. **Exact cache** — an unchanged (or permuted/duplicated) log is served
+   straight from :class:`~repro.serve.cache.InterfaceCache` with *zero*
+   search iterations.
+2. **Session warm start** — on appends, the previous run's best difftree
+   (and its elite transposition-table states) are extended to the new
+   queries via :func:`~repro.difftree.extend_difftree` and injected into
+   the next MCTS run, seeding both the incumbent and the UCT statistics.
+3. **Prefix warm start** — a session with no prior run of its own can
+   still warm-start from the cached interface of its longest cached log
+   prefix (e.g. a restarted session replaying its history).
+
+Warm seeding spends the same per-evaluation budget as search, so warm
+and cold runs at equal ``time_budget_s`` are directly comparable — the
+contract the incremental benchmark checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core import (
+    GeneratedInterface,
+    GenerationConfig,
+    as_mcts_config,
+    prepare_search,
+)
+from ..difftree import DTNode, extend_difftree
+from ..layout import Screen
+from ..rules import RuleEngine
+from ..search.mcts import MCTS
+from .cache import InterfaceCache, context_key
+from .stream import QueryLike, SessionRouter
+
+#: Session id used by the single-session convenience paths.
+DEFAULT_SESSION = "default"
+
+
+@dataclass
+class _SessionState:
+    """What one session carries from run to run."""
+
+    log_len: int = 0
+    best: Optional[DTNode] = None
+    elite: Tuple[DTNode, ...] = ()
+
+
+class IncrementalGenerator:
+    """A long-lived generation service over per-session query streams.
+
+    Args:
+        screen: target screen (default wide).
+        config: generation settings; the strategy must be ``"mcts"`` —
+            warm-starting seeds its transposition table.
+        engine: custom rule engine (default: full paper rule set).
+        cache: interface cache to consult/populate (default: fresh LRU).
+        router: session router to ingest through (default: 8 shards).
+        warm_top_k: how many elite transposition-table states (beyond
+            the best) to extend and re-seed on the next run.
+    """
+
+    def __init__(
+        self,
+        screen: Optional[Screen] = None,
+        config: Optional[GenerationConfig] = None,
+        engine: Optional[RuleEngine] = None,
+        cache: Optional[InterfaceCache] = None,
+        router: Optional[SessionRouter] = None,
+        warm_top_k: int = 4,
+    ) -> None:
+        config = config or GenerationConfig()
+        if config.strategy != "mcts":
+            raise ValueError(
+                f"IncrementalGenerator warm-starts MCTS; got strategy {config.strategy!r}"
+            )
+        self.screen = screen or Screen.wide()
+        self.config = config
+        self.engine = engine
+        self.cache = cache if cache is not None else InterfaceCache()
+        self.router = router if router is not None else SessionRouter()
+        self.warm_top_k = warm_top_k
+        self._sessions: Dict[str, _SessionState] = {}
+        self._ctx = context_key(self.screen, self.config)
+        #: How many actual searches this generator has run (cache hits
+        #: don't count — the zero-new-iterations contract).
+        self.searches_run = 0
+
+    # -- ingestion ----------------------------------------------------------
+
+    def append(self, *queries: QueryLike, session_id: str = DEFAULT_SESSION) -> int:
+        """Append queries to a session's log; returns its new length."""
+        return self.router.append(session_id, *queries)
+
+    def log_length(self, session_id: str = DEFAULT_SESSION) -> int:
+        return len(self.router.stream(session_id))
+
+    # -- generation ---------------------------------------------------------
+
+    def generate(self, session_id: str = DEFAULT_SESSION) -> GeneratedInterface:
+        """Interface for the session's current log (cached/warm-started)."""
+        stream = self.router.stream(session_id)
+        asts = stream.asts()
+        if not asts:
+            raise ValueError(f"session {session_id!r} has an empty log")
+
+        key = InterfaceCache.key_for(asts, self.screen, self.config)
+        state = self._sessions.setdefault(session_id, _SessionState())
+        cached = self.cache.get(key)
+        if cached is not None:
+            state.log_len = len(asts)
+            state.best = cached.difftree
+            # Elite states describe an older log and would be extended
+            # from the wrong offset on the next append — drop them.
+            state.elite = ()
+            return cached
+
+        warm = self._warm_states(state, stream, asts)
+        result, elite = self._search(asts, warm)
+        self.searches_run += 1
+        # Bound the key reads to the snapshot taken above: a concurrent
+        # append during the search must not tag this entry with queries
+        # the generated interface never saw.
+        self.cache.put(
+            key, result, query_keys=stream.query_keys(end=len(asts)), ctx=self._ctx
+        )
+        state.log_len = len(asts)
+        state.best = result.difftree
+        state.elite = elite
+        return result
+
+    # -- internals -----------------------------------------------------------
+
+    def _warm_states(self, state, stream, asts) -> List[DTNode]:
+        """Extend prior states to the grown log (dedup by canonical key)."""
+        warm: List[DTNode] = []
+        seen = set()
+
+        def add(tree: DTNode) -> None:
+            if tree.canonical_key not in seen:
+                seen.add(tree.canonical_key)
+                warm.append(tree)
+
+        if state.best is not None:
+            appended = asts[state.log_len :]
+            add(extend_difftree(state.best, appended))
+            for tree in state.elite[: self.warm_top_k]:
+                add(extend_difftree(tree, appended))
+        else:
+            match = self.cache.longest_prefix(
+                stream.query_keys(end=len(asts)), self._ctx
+            )
+            if match is not None:
+                add(extend_difftree(match.result.difftree, asts[match.matched :]))
+        return warm
+
+    def _search(
+        self, asts, warm: List[DTNode]
+    ) -> Tuple[GeneratedInterface, Tuple[DTNode, ...]]:
+        asts, screen, model, initial, engine = prepare_search(
+            asts, screen=self.screen, config=self.config, engine=self.engine
+        )
+        mcts = MCTS(model, engine=engine, config=as_mcts_config(self.config))
+        search_result = mcts.search(initial, warm_states=warm)
+        elite = self._elite_states(mcts, initial, search_result.best_state)
+        result = GeneratedInterface(
+            queries=list(asts),
+            screen=screen,
+            search=search_result,
+            best=search_result.best,
+        )
+        return result, elite
+
+    def _elite_states(
+        self, mcts: MCTS, initial: DTNode, best_state: DTNode
+    ) -> Tuple[DTNode, ...]:
+        """Top transposition-table states by mean reward (next warm seeds)."""
+        exclude = {initial.canonical_key, best_state.canonical_key}
+        ranked = sorted(
+            (
+                node
+                for key, node in mcts.nodes.items()
+                if key not in exclude and node.visits > 0
+            ),
+            key=lambda node: node.mean_reward(),
+            reverse=True,
+        )
+        return tuple(node.state for node in ranked[: self.warm_top_k])

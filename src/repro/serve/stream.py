@@ -1,0 +1,159 @@
+"""Append-only query-log ingestion: :class:`LogStream` and :class:`SessionRouter`.
+
+Real analysis logs arrive as per-session append-only streams of SQL
+text, with heavy repetition (analysts re-run near-identical queries).
+:class:`LogStream` ingests such a stream while parsing each distinct SQL
+string exactly once, and precomputes the per-query canonical keys the
+prefix-matching :class:`~repro.serve.cache.InterfaceCache` needs.
+:class:`SessionRouter` shards many concurrent sessions over independent
+lock-protected stream groups, so ingestion scales with the shard count
+instead of serializing on one global lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..difftree import wrap_ast
+from ..sqlast import Node, parse
+
+QueryLike = Union[str, Node]
+
+
+class LogStream:
+    """One session's append-only SQL log with parse-once AST caching.
+
+    Args:
+        parse_cache: optional shared ``sql text -> AST`` cache.  Sessions
+            routed to the same shard share one, so a query text seen in
+            any of them is never parsed twice.
+    """
+
+    def __init__(self, parse_cache: Optional[Dict[str, Node]] = None) -> None:
+        self._sql: List[str] = []
+        self._asts: List[Node] = []
+        self._query_keys: List[str] = []
+        self._parse_cache: Dict[str, Node] = (
+            parse_cache if parse_cache is not None else {}
+        )
+        #: Ingestion counters: total appends vs. appends that skipped the
+        #: parser because the text was already in the cache.
+        self.parses = 0
+        self.parse_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._asts)
+
+    @property
+    def version(self) -> int:
+        """Monotone stream version — the number of queries ingested."""
+        return len(self._asts)
+
+    def append(self, *queries: QueryLike) -> int:
+        """Ingest queries (SQL text or pre-parsed ASTs); returns the new length."""
+        for query in queries:
+            if isinstance(query, Node):
+                ast = query
+            elif isinstance(query, str):
+                ast = self._parse_cache.get(query)
+                if ast is None:
+                    ast = parse(query)
+                    self._parse_cache[query] = ast
+                    self.parses += 1
+                else:
+                    self.parse_hits += 1
+            else:
+                raise TypeError(f"query must be SQL text or AST, got {type(query)}")
+            self._sql.append(query if isinstance(query, str) else "")
+            self._asts.append(ast)
+            self._query_keys.append(wrap_ast(ast).canonical_key)
+        return len(self._asts)
+
+    def asts(self, end: Optional[int] = None) -> Tuple[Node, ...]:
+        """The ingested ASTs (optionally only the first ``end``)."""
+        return tuple(self._asts[: len(self._asts) if end is None else end])
+
+    def sql(self) -> Tuple[str, ...]:
+        """The raw SQL strings (empty string for AST-only appends)."""
+        return tuple(self._sql)
+
+    def query_keys(self, end: Optional[int] = None) -> Tuple[str, ...]:
+        """Per-query canonical keys, in log order (prefix-cache material)."""
+        return tuple(
+            self._query_keys[: len(self._query_keys) if end is None else end]
+        )
+
+
+class _Shard:
+    """One router shard: a lock, a shared parse cache, and its streams."""
+
+    __slots__ = ("lock", "parse_cache", "streams")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.parse_cache: Dict[str, Node] = {}
+        self.streams: Dict[str, LogStream] = {}
+
+
+class SessionRouter:
+    """Shards per-session :class:`LogStream` instances by session id.
+
+    Sharding uses ``crc32`` of the session id (Python's builtin ``hash``
+    is salted per process, which would re-shuffle sessions across
+    restarts).  Each shard holds its own lock and parse cache, so
+    concurrent appends from sessions on different shards never contend.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 8,
+        stream_factory: Callable[..., LogStream] = LogStream,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        self._shards = [_Shard() for _ in range(num_shards)]
+        self._stream_factory = stream_factory
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def shard_of(self, session_id: str) -> int:
+        """Stable shard index of a session (same across processes/runs)."""
+        return zlib.crc32(session_id.encode("utf-8")) % len(self._shards)
+
+    def stream(self, session_id: str) -> LogStream:
+        """The session's stream, created on first use."""
+        shard = self._shards[self.shard_of(session_id)]
+        with shard.lock:
+            stream = shard.streams.get(session_id)
+            if stream is None:
+                stream = self._stream_factory(parse_cache=shard.parse_cache)
+                shard.streams[session_id] = stream
+            return stream
+
+    def append(self, session_id: str, *queries: QueryLike) -> int:
+        """Append to a session's log; returns the stream's new length."""
+        shard = self._shards[self.shard_of(session_id)]
+        with shard.lock:
+            stream = shard.streams.get(session_id)
+            if stream is None:
+                stream = self._stream_factory(parse_cache=shard.parse_cache)
+                shard.streams[session_id] = stream
+            return stream.append(*queries)
+
+    def sessions(self) -> List[str]:
+        """All live session ids (across shards)."""
+        out: List[str] = []
+        for shard in self._shards:
+            with shard.lock:
+                out.extend(shard.streams)
+        return out
+
+    def drop(self, session_id: str) -> bool:
+        """Forget a session's stream; returns whether it existed."""
+        shard = self._shards[self.shard_of(session_id)]
+        with shard.lock:
+            return shard.streams.pop(session_id, None) is not None

@@ -97,6 +97,11 @@ class Node:
 
     # -- identity -----------------------------------------------------------
 
+    def __reduce__(self):
+        # Slotted + immutable blocks pickle's default setattr-based path;
+        # rebuild through __init__ (process-pool transport in repro.serve).
+        return (Node, (self.label, self.value, self.children))
+
     def __hash__(self) -> int:
         return self._hash
 

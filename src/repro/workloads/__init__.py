@@ -1,6 +1,6 @@
 """Evaluation workloads: the paper's SDSS log and synthetic generators."""
 
-from .sdss import LISTING1_SQL, listing1_queries, listing1_sql
+from .sdss import LISTING1_SQL, listing1_queries, listing1_sql, sdss_session_sql
 from .synthetic import (
     clause_toggle_log,
     mixed_session_log,
@@ -13,6 +13,7 @@ __all__ = [
     "LISTING1_SQL",
     "listing1_sql",
     "listing1_queries",
+    "sdss_session_sql",
     "value_drift_log",
     "clause_toggle_log",
     "predicate_add_log",

@@ -10,6 +10,7 @@ bounds deterministically under exactly those constraints.
 
 from __future__ import annotations
 
+import random
 from typing import List, Sequence, Tuple
 
 from ..sqlast import Node, parse
@@ -58,3 +59,41 @@ def listing1_sql(start: int = 1, end: int = 10) -> List[str]:
 def listing1_queries(start: int = 1, end: int = 10) -> List[Node]:
     """Parsed ASTs of Listing-1 queries ``start``..``end`` (inclusive)."""
     return [parse(sql) for sql in listing1_sql(start, end)]
+
+
+def sdss_session_sql(num_queries: int = 20, seed: int = 0) -> List[str]:
+    """An arbitrarily long SDSS-style session log (Listing-1 shaped).
+
+    Deterministic given a seed: every query keeps Listing 1's exact
+    shape — ``SELECT [TOP n] item FROM table WHERE`` four ``BETWEEN``
+    conjuncts on the photometric bands — while the table, projection,
+    TOP value, and per-band bounds drift the way an analyst's session
+    does: over a *small* palette of revisited values (Listing 1 itself
+    uses only six distinct bound sets across ten queries).  Used by the
+    incremental-serving benchmark, which needs logs that keep growing
+    past the ten queries the paper prints.
+    """
+    rng = random.Random(seed)
+    tables = ("stars", "galaxies", "quasars")
+    items = ("objid", "count(*)")
+    tops: Tuple[object, ...] = (None, 10, 100, 1000)
+    #: Per-band palettes the session keeps coming back to.
+    palettes: Tuple[Tuple[Tuple[int, int], ...], ...] = tuple(
+        (pair, (pair[0] + 1, pair[1] - 1), (pair[0] + 2, pair[1]))
+        for pair in _SHARED_678
+    )
+    bounds = [palette[0] for palette in palettes]
+    queries: List[str] = []
+    for _ in range(num_queries):
+        # Nudge one band per step (the analyst revisits a known range).
+        band = rng.randrange(len(bounds))
+        bounds[band] = rng.choice(palettes[band])
+        queries.append(
+            _build_sql(
+                rng.choice(tables),
+                rng.choice(items),
+                rng.choice(tops),
+                tuple(bounds),
+            )
+        )
+    return queries

@@ -1,0 +1,384 @@
+"""Tests for the serving layer: streams, cache, incremental generation,
+warm-started search, and the batch worker pool."""
+
+import pytest
+
+from repro import GenerationConfig, Screen, generate_interface
+from repro.cost import CostModel
+from repro.difftree import (
+    as_asts,
+    expresses_all,
+    extend_difftree,
+    graft,
+    initial_difftree,
+    wrap_ast,
+)
+from repro.search import MCTSConfig, mcts_search
+from repro.serve import (
+    DEFAULT_SESSION,
+    InterfaceCache,
+    IncrementalGenerator,
+    LogStream,
+    SessionRouter,
+    context_key,
+    generate_interfaces_batch,
+)
+from repro.sqlast import parse
+from repro.workloads import listing1_sql, sdss_session_sql
+
+#: A fast config for tests that exercise plumbing, not search quality.
+FAST = GenerationConfig(time_budget_s=0.3, seed=0)
+
+
+class TestLogStream:
+    def test_append_and_version(self):
+        stream = LogStream()
+        assert len(stream) == 0
+        assert stream.append(listing1_sql()[0]) == 1
+        assert stream.version == 1
+
+    def test_parse_once(self):
+        stream = LogStream()
+        sql = listing1_sql()[0]
+        stream.append(sql, sql, sql)
+        assert stream.parses == 1
+        assert stream.parse_hits == 2
+        assert len(stream) == 3
+
+    def test_shared_parse_cache(self):
+        cache = {}
+        a = LogStream(parse_cache=cache)
+        b = LogStream(parse_cache=cache)
+        sql = listing1_sql()[0]
+        a.append(sql)
+        b.append(sql)
+        assert a.parses == 1
+        assert b.parses == 0
+        assert b.parse_hits == 1
+
+    def test_ast_append(self):
+        stream = LogStream()
+        ast = parse(listing1_sql()[0])
+        stream.append(ast)
+        assert stream.asts() == (ast,)
+
+    def test_query_keys_match_content(self):
+        stream = LogStream()
+        stream.append(*listing1_sql(1, 3))
+        keys = stream.query_keys()
+        assert len(keys) == 3
+        assert keys[0] == wrap_ast(parse(listing1_sql()[0])).canonical_key
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            LogStream().append(42)
+
+
+class TestSessionRouter:
+    def test_sessions_isolated(self):
+        router = SessionRouter()
+        router.append("a", listing1_sql()[0])
+        router.append("b", *listing1_sql(1, 2))
+        assert len(router.stream("a")) == 1
+        assert len(router.stream("b")) == 2
+
+    def test_sharding_stable(self):
+        a = SessionRouter(num_shards=8)
+        b = SessionRouter(num_shards=8)
+        for sid in ("alpha", "beta", "gamma"):
+            assert a.shard_of(sid) == b.shard_of(sid)
+
+    def test_same_shard_shares_parse_cache(self):
+        router = SessionRouter(num_shards=1)
+        sql = listing1_sql()[0]
+        router.append("a", sql)
+        router.append("b", sql)
+        assert router.stream("b").parses == 0
+
+    def test_drop(self):
+        router = SessionRouter()
+        router.append("a", listing1_sql()[0])
+        assert router.drop("a")
+        assert not router.drop("a")
+        assert len(router.stream("a")) == 0
+
+
+class TestInterfaceCache:
+    def _result(self, n):
+        return generate_interface(listing1_sql(1, n), config=FAST)
+
+    def test_hit_miss_stats(self):
+        cache = InterfaceCache(capacity=4)
+        result = self._result(2)
+        key = InterfaceCache.key_for(result.queries, result.screen, FAST)
+        assert cache.get(key) is None
+        cache.put(key, result)
+        assert cache.get(key) is result
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_reordered_log_hits_same_entry(self):
+        cache = InterfaceCache()
+        queries = as_asts(listing1_sql(1, 3))
+        key_fwd = InterfaceCache.key_for(queries, Screen.wide(), FAST)
+        key_rev = InterfaceCache.key_for(list(reversed(queries)), Screen.wide(), FAST)
+        assert key_fwd == key_rev
+
+    def test_screen_and_config_in_key(self):
+        queries = as_asts(listing1_sql(1, 3))
+        wide = InterfaceCache.key_for(queries, Screen.wide(), FAST)
+        narrow = InterfaceCache.key_for(queries, Screen.narrow(), FAST)
+        other = InterfaceCache.key_for(
+            queries, Screen.wide(), GenerationConfig(time_budget_s=9.0)
+        )
+        assert len({wide, narrow, other}) == 3
+
+    def test_lru_eviction(self):
+        cache = InterfaceCache(capacity=2)
+        result = self._result(2)
+        cache.put("k1", result)
+        cache.put("k2", result)
+        cache.get("k1")  # refresh k1 -> k2 is now LRU
+        cache.put("k3", result)
+        assert cache.stats.evictions == 1
+        assert cache.get("k2") is None
+        assert cache.get("k1") is result
+        assert cache.get("k3") is result
+
+    def test_longest_prefix(self):
+        cache = InterfaceCache()
+        ctx = "ctx"
+        short = self._result(2)
+        longer = self._result(4)
+        keys6 = tuple(f"q{i}" for i in range(6))
+        cache.put("short", short, query_keys=keys6[:2], ctx=ctx)
+        cache.put("longer", longer, query_keys=keys6[:4], ctx=ctx)
+        match = cache.longest_prefix(keys6, ctx)
+        assert match is not None
+        assert match.result is longer
+        assert match.matched == 4
+        assert cache.stats.prefix_hits == 1
+
+    def test_prefix_requires_matching_context(self):
+        cache = InterfaceCache()
+        cache.put("k", self._result(2), query_keys=("a", "b"), ctx="ctx1")
+        assert cache.longest_prefix(("a", "b", "c"), "ctx2") is None
+
+    def test_prefix_must_be_proper(self):
+        cache = InterfaceCache()
+        cache.put("k", self._result(2), query_keys=("a", "b"), ctx="ctx")
+        assert cache.longest_prefix(("a", "b"), "ctx") is None
+        assert cache.longest_prefix(("a", "x", "c"), "ctx") is None
+
+
+class TestGraftExtension:
+    def test_extension_expresses_everything(self):
+        log = sdss_session_sql(12, seed=3)
+        result = generate_interface(log[:6], config=FAST)
+        extended = extend_difftree(result.difftree, log[6:])
+        assert expresses_all(extended, as_asts(log))
+
+    def test_graft_extends_any_domain_in_place(self):
+        log = ["select objid from stars where u < 5",
+               "select objid from stars where u < 7"]
+        base = initial_difftree(as_asts(log))
+        # First graft merges into one alternative, creating a deep ANY
+        # over the differing literal (+2 nodes: ANY + NumExpr)...
+        merged = graft(base, wrap_ast(parse("select objid from stars where u < 9")))
+        assert merged.size == base.size + 2
+        # ...the next literal then lands in that existing ANY domain
+        # (+1 node), not as a whole-query alternative.
+        again = graft(merged, wrap_ast(parse("select objid from stars where u < 11")))
+        assert again.size == merged.size + 1
+        assert expresses_all(
+            again,
+            as_asts(log + ["select objid from stars where u < 9",
+                           "select objid from stars where u < 11"]),
+        )
+
+    def test_duplicate_append_returns_same_tree(self):
+        log = listing1_sql(1, 4)
+        result = generate_interface(log, config=FAST)
+        assert extend_difftree(result.difftree, log) is result.difftree
+
+
+class TestWarmStartedSearch:
+    def test_warm_state_seeds_incumbent(self):
+        queries = as_asts(listing1_sql(1, 6))
+        model = CostModel(queries, Screen.wide())
+        initial = initial_difftree(queries)
+        # A known-good state: a prior (longer) search's winner.
+        prior = mcts_search(
+            CostModel(queries, Screen.wide()),
+            initial,
+            config=MCTSConfig(time_budget_s=1.5, seed=0),
+        )
+        warm = mcts_search(
+            model,
+            initial,
+            config=MCTSConfig(time_budget_s=0.2, seed=1),
+            warm_states=[prior.best_state],
+        )
+        assert warm.stats.warm_states_seeded == 1
+        # The seeded incumbent is a floor: the tiny-budget warm run can
+        # never end worse than the seed it was given.
+        assert warm.best_cost <= prior.best_cost + 1e-9
+
+    def test_warm_states_rejected_by_baselines(self):
+        queries = as_asts(listing1_sql(1, 3))
+        tree = initial_difftree(queries)
+        with pytest.raises(ValueError):
+            generate_interface(
+                queries,
+                config=GenerationConfig(strategy="greedy", time_budget_s=0.2),
+                warm_states=[tree],
+            )
+
+    def test_injected_node_table_resumes_search(self):
+        """A later search over the same log can continue from a prior
+        instance's transposition table: known states are reused and
+        their unexpanded frontier re-enters selection."""
+        from repro.search import MCTS
+
+        queries = as_asts(listing1_sql(1, 4))
+        initial = initial_difftree(queries)
+        first = MCTS(
+            CostModel(queries, Screen.wide()),
+            config=MCTSConfig(time_budget_s=0.4, seed=0),
+        )
+        first.search(initial)
+        table_size = len(first.nodes)
+        assert table_size > 1
+
+        resumed = MCTS(
+            CostModel(queries, Screen.wide()),
+            config=MCTSConfig(time_budget_s=0.4, seed=1),
+            node_table=first.nodes,
+        )
+        result = resumed.search(initial)
+        assert resumed.nodes is first.nodes
+        assert len(resumed.nodes) >= table_size
+        assert result.best.breakdown.feasible
+
+    def test_injected_evaluator_carries_incumbent(self):
+        from repro.search import MCTS, StateEvaluator
+
+        queries = as_asts(listing1_sql(1, 4))
+        model = CostModel(queries, Screen.wide())
+        initial = initial_difftree(queries)
+        prior = mcts_search(
+            CostModel(queries, Screen.wide()),
+            initial,
+            config=MCTSConfig(time_budget_s=1.0, seed=0),
+        )
+        evaluator = StateEvaluator(model, seed=0)
+        evaluator.seed_incumbent(prior.best_state)
+        floor = evaluator.best.cost
+        mcts = MCTS(
+            model,
+            config=MCTSConfig(time_budget_s=0.2, seed=1),
+            evaluator=evaluator,
+        )
+        result = mcts.search(initial)
+        # The reused evaluator's incumbent is a floor for the new run.
+        assert result.best_cost <= floor + 1e-9
+
+    def test_frontier_stats_recorded(self):
+        queries = as_asts(listing1_sql(1, 3))
+        result = mcts_search(
+            CostModel(queries, Screen.wide()),
+            initial_difftree(queries),
+            config=MCTSConfig(time_budget_s=0.5, seed=0),
+        )
+        assert result.stats.frontier_peak >= 1
+
+
+class TestIncrementalGenerator:
+    def test_cache_hit_runs_zero_search(self):
+        svc = IncrementalGenerator(config=FAST)
+        svc.append(*listing1_sql(1, 4))
+        first = svc.generate()
+        searches = svc.searches_run
+        iterations = first.search.stats.iterations
+        again = svc.generate()
+        assert again is first
+        assert svc.searches_run == searches
+        assert again.search.stats.iterations == iterations
+        assert svc.cache.stats.hits == 1
+
+    def test_incremental_appends_express_full_log(self):
+        log = sdss_session_sql(12, seed=1)
+        svc = IncrementalGenerator(config=FAST)
+        for step in range(0, 12, 4):
+            svc.append(*log[step : step + 4])
+            result = svc.generate()
+            assert expresses_all(result.difftree, as_asts(log[: step + 4]))
+        assert svc.searches_run == 3
+
+    def test_warm_beats_cold_at_equal_iteration_budget(self):
+        """The acceptance contract, deterministically: equal per-step
+        iteration caps (generous wall-clock), warm final <= cold final."""
+        log = sdss_session_sql(16, seed=0)
+        config = GenerationConfig(time_budget_s=30.0, max_iterations=2, seed=0)
+        svc = IncrementalGenerator(config=config)
+        warm = cold = None
+        for step in range(0, 16, 4):
+            svc.append(*log[step : step + 4])
+            warm = svc.generate()
+            cold = generate_interface(log[: step + 4], config=config)
+        assert warm.cost <= cold.cost + 1e-9
+
+    def test_sessions_are_independent(self):
+        svc = IncrementalGenerator(config=FAST)
+        svc.append(*listing1_sql(1, 3), session_id="a")
+        svc.append(*listing1_sql(4, 6), session_id="b")
+        ra = svc.generate("a")
+        rb = svc.generate("b")
+        assert expresses_all(ra.difftree, as_asts(listing1_sql(1, 3)))
+        assert expresses_all(rb.difftree, as_asts(listing1_sql(4, 6)))
+
+    def test_prefix_warm_start_from_cache(self):
+        log = listing1_sql(1, 6)
+        svc = IncrementalGenerator(config=FAST)
+        svc.append(*log[:4], session_id="a")
+        svc.generate("a")
+        # A fresh session replays the same prefix plus new queries: no
+        # session state, but the cache's prefix entry feeds the warm start.
+        svc.append(*log, session_id="b")
+        result = svc.generate("b")
+        assert svc.cache.stats.prefix_hits == 1
+        assert result.search.stats.warm_states_seeded >= 1
+        assert expresses_all(result.difftree, as_asts(log))
+
+    def test_empty_session_raises(self):
+        with pytest.raises(ValueError):
+            IncrementalGenerator(config=FAST).generate()
+
+    def test_non_mcts_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            IncrementalGenerator(
+                config=GenerationConfig(strategy="random")
+            )
+
+
+class TestBatch:
+    def test_batch_preserves_order_and_feasibility(self):
+        logs = [listing1_sql(1, 2), listing1_sql(3, 4), listing1_sql(5, 6)]
+        results = generate_interfaces_batch(logs, config=FAST, max_workers=2)
+        assert len(results) == 3
+        for log, result in zip(logs, results):
+            assert result.best.breakdown.feasible
+            assert expresses_all(result.difftree, as_asts(log))
+
+    def test_serial_executor_matches_shape(self):
+        logs = [listing1_sql(1, 2)]
+        results = generate_interfaces_batch(logs, config=FAST, executor="serial")
+        assert len(results) == 1
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            generate_interfaces_batch([listing1_sql(1, 2)], executor="gpu")
+
+    def test_context_key_is_deterministic(self):
+        assert context_key(Screen.wide(), FAST) == context_key(Screen.wide(), FAST)
+        assert context_key(Screen.wide(), FAST) != context_key(Screen.narrow(), FAST)
