@@ -1,0 +1,345 @@
+"""BENCH-KERNEL: compiled cost-evaluation kernel vs the reference path.
+
+Two claims (ISSUE 2 / `repro.cost.kernel`):
+
+1. **Throughput** — on the exhaustive widget pass (the paper's final
+   phase and the hot loop of every search), scoring candidates as
+   decision vectors against the compiled flat arrays with delta
+   re-evaluation is >= 3x faster than deriving and walk-scoring each
+   widget tree from scratch.
+2. **Equal-budget search** — MCTS with the kernel reaches a final cost
+   <= the pre-refactor run at the same iteration budget on the SDSS and
+   TPC-H-style workloads.  (The kernel is bitwise-parity exact and
+   consumes the RNG identically, so at equal iterations the costs are
+   *equal* — the kernel just gets there in a fraction of the wall
+   clock.)
+
+Standalone script (also the CI smoke target), runnable without pytest:
+
+    PYTHONPATH=src python benchmarks/bench_cost_kernel.py \
+        --queries 8 --evals 400 --iterations 10 --json BENCH_cost_kernel.json
+
+The "legacy" side reconstructs the pre-kernel evaluation pipeline
+(derive-per-candidate + walk-everything ``evaluate_reference``) and is
+temporarily patched into the search layer for the MCTS comparison.
+With ``--strict`` the script exits non-zero unless both claims hold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Dict, List, Optional
+
+import repro.search.common as search_common
+from repro.cost import CostModel, EvaluatedInterface
+from repro.difftree import DTNode, initial_difftree
+from repro.layout import Screen
+from repro.rules import forward_engine
+from repro.search import MCTSConfig, mcts_search
+from repro.sqlast import parse
+from repro.widgets import (
+    ORIENTATIONS,
+    SIZE_CLASSES,
+    GreedyChooser,
+    RandomChooser,
+    ReplayChooser,
+    decision_space,
+    derive_widget_tree,
+    enumerate_widget_trees,
+)
+from repro.workloads import sdss_session_sql, tpch_session_sql
+
+WORKLOADS = {
+    "sdss": sdss_session_sql,
+    "tpch": tpch_session_sql,
+}
+
+
+# -- the pre-kernel evaluation pipeline (reference semantics) --------------------
+
+
+def legacy_sampled_evaluation(model, tree, k=5, rng=None, include_greedy=True):
+    """Pre-kernel sampled evaluation: derive every sample, walk-score it."""
+    rng = rng or random.Random(0)
+    samples = []
+    if include_greedy:
+        samples.append(derive_widget_tree(tree, GreedyChooser()))
+        k = max(0, k - 1)
+    for _ in range(k):
+        samples.append(derive_widget_tree(tree, RandomChooser(rng)))
+    best = None
+    for root in samples:
+        candidate = EvaluatedInterface(
+            tree, root, model.evaluate_reference(tree, root)
+        )
+        if best is None or candidate.rank < best.rank:
+            best = candidate
+    return best
+
+
+def legacy_exhaustive_evaluation(model, tree, cap=4000):
+    """Pre-kernel final pass: enumerate real trees, walk-score each."""
+    space = decision_space(tree)
+    if space.num_assignments <= cap:
+        best = None
+        for root in enumerate_widget_trees(tree, cap=cap):
+            candidate = EvaluatedInterface(
+                tree, root, model.evaluate_reference(tree, root)
+            )
+            if best is None or candidate.rank < best.rank:
+                best = candidate
+        return best
+    return legacy_coordinate_descent(model, tree)
+
+
+def legacy_coordinate_descent(model, tree, max_rounds=6):
+    """Pre-kernel coordinate descent: rebuild + walk-score per trial."""
+    space = decision_space(tree)
+    widgets = {path: (opts[0], "M") for path, opts in space.widget_options.items()}
+    orientations = {path: "vertical" for path in space.orientation_points}
+
+    def build_and_cost():
+        root = derive_widget_tree(tree, ReplayChooser(dict(widgets), dict(orientations)))
+        return EvaluatedInterface(tree, root, model.evaluate_reference(tree, root))
+
+    current = build_and_cost()
+    for _ in range(max_rounds):
+        improved = False
+        for path, options in sorted(space.widget_options.items()):
+            original = widgets[path]
+            for name in options:
+                for size_class in SIZE_CLASSES:
+                    if (name, size_class) == original:
+                        continue
+                    widgets[path] = (name, size_class)
+                    candidate = build_and_cost()
+                    if candidate.rank < current.rank:
+                        current = candidate
+                        original = (name, size_class)
+                        improved = True
+            widgets[path] = original
+        for path in space.orientation_points:
+            original_o = orientations[path]
+            for orientation in ORIENTATIONS:
+                if orientation == original_o:
+                    continue
+                orientations[path] = orientation
+                candidate = build_and_cost()
+                if candidate.rank < current.rank:
+                    current = candidate
+                    original_o = orientation
+                    improved = True
+            orientations[path] = original_o
+        if not improved:
+            break
+    return current
+
+
+class _patched_legacy_search:
+    """Route the search layer's state evaluation through the legacy path."""
+
+    def __enter__(self):
+        self._sampled = search_common.sampled_evaluation
+        self._exhaustive = search_common.exhaustive_evaluation
+        search_common.sampled_evaluation = legacy_sampled_evaluation
+        search_common.exhaustive_evaluation = legacy_exhaustive_evaluation
+        return self
+
+    def __exit__(self, *exc):
+        search_common.sampled_evaluation = self._sampled
+        search_common.exhaustive_evaluation = self._exhaustive
+        return False
+
+
+# -- benchmark passes ------------------------------------------------------------
+
+
+def factored_state(asts: List, max_steps: int = 200) -> DTNode:
+    """A deterministic well-factored difftree (forward rules to fixpoint)."""
+    engine = forward_engine()
+    tree = initial_difftree(asts)
+    for _ in range(max_steps):
+        moves = [m for m in engine.moves(tree) if m.rule_name != "Multi"]
+        if not moves:
+            break
+        tree = engine.apply(tree, moves[0])
+    return tree
+
+
+def throughput_pass(asts: List, screen: Screen, evals: int) -> Dict:
+    """Candidate-evaluations/sec: legacy derive+walk vs kernel deltas."""
+    state = factored_state(asts)
+    model = CostModel(asts, screen)
+    kernel = model.kernel_for(state)
+    candidates = min(evals, kernel.schema.num_assignments)
+
+    t0 = time.perf_counter()
+    legacy = [
+        model.evaluate_reference(state, root)
+        for root in enumerate_widget_trees(state, cap=candidates)
+    ]
+    legacy_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    compiled = [breakdown for _, breakdown in kernel.iter_enumeration(cap=candidates)]
+    kernel_s = time.perf_counter() - t0
+
+    mismatches = sum(1 for a, b in zip(legacy, compiled) if a != b)
+    return {
+        "candidates": candidates,
+        "decision_product": kernel.schema.num_assignments,
+        "legacy_seconds": round(legacy_s, 4),
+        "kernel_seconds": round(kernel_s, 4),
+        "legacy_evals_per_s": round(candidates / legacy_s, 1) if legacy_s else None,
+        "kernel_evals_per_s": round(candidates / kernel_s, 1) if kernel_s else None,
+        "speedup": round(legacy_s / kernel_s, 2) if kernel_s else None,
+        "parity_mismatches": mismatches,
+        "delta_evals": model.kernel_stats.delta_evals,
+    }
+
+
+def mcts_pass(
+    asts: List, screen: Screen, iterations: int, final_cap: int, seed: int
+) -> Dict:
+    """Equal-iteration MCTS: kernel-backed vs pre-refactor evaluation."""
+    config = MCTSConfig(
+        time_budget_s=3600.0,  # iteration-capped: wall clock must not bite
+        max_iterations=iterations,
+        seed=seed,
+        final_cap=final_cap,
+    )
+
+    def run() -> Dict:
+        model = CostModel(asts, screen)
+        initial = initial_difftree(asts)
+        t0 = time.perf_counter()
+        result = mcts_search(model, initial, config=config)
+        return {
+            "cost": result.best_cost,
+            "seconds": round(time.perf_counter() - t0, 3),
+            "states_evaluated": result.stats.states_evaluated,
+            "kernel_full_evals": result.stats.kernel_full_evals,
+            "kernel_delta_evals": result.stats.kernel_delta_evals,
+        }
+
+    with _patched_legacy_search():
+        legacy = run()
+    kernel = run()
+    return {
+        "iterations": iterations,
+        "legacy_cost": legacy["cost"],
+        "kernel_cost": kernel["cost"],
+        "legacy_seconds": legacy["seconds"],
+        "kernel_seconds": kernel["seconds"],
+        "speedup": (
+            round(legacy["seconds"] / kernel["seconds"], 2)
+            if kernel["seconds"]
+            else None
+        ),
+        "cost_leq_legacy": kernel["cost"] <= legacy["cost"] + 1e-9,
+        "costs_equal": abs(kernel["cost"] - legacy["cost"]) <= 1e-12,
+        "states_evaluated": kernel["states_evaluated"],
+        "kernel_full_evals": kernel["kernel_full_evals"],
+        "kernel_delta_evals": kernel["kernel_delta_evals"],
+    }
+
+
+def run(queries: int, evals: int, iterations: int, final_cap: int, seed: int) -> Dict:
+    screen = Screen.wide()
+    workloads: Dict[str, Dict] = {}
+    for name, generator in WORKLOADS.items():
+        asts = [parse(q) for q in generator(queries, seed=0)]
+        workloads[name] = {
+            "throughput": throughput_pass(asts, screen, evals),
+            "mcts": mcts_pass(asts, screen, iterations, final_cap, seed),
+        }
+    speedups = [w["throughput"]["speedup"] for w in workloads.values()]
+    return {
+        "bench": "cost_kernel",
+        "queries": queries,
+        "evals": evals,
+        "iterations": iterations,
+        "final_cap": final_cap,
+        "seed": seed,
+        "workloads": workloads,
+        "min_throughput_speedup": min(speedups),
+        "throughput_geq_3x": all(s >= 3.0 for s in speedups),
+        "parity_clean": all(
+            w["throughput"]["parity_mismatches"] == 0 for w in workloads.values()
+        ),
+        "mcts_cost_leq_legacy": all(
+            w["mcts"]["cost_leq_legacy"] for w in workloads.values()
+        ),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--queries", type=int, default=8, help="session log size")
+    parser.add_argument(
+        "--evals", type=int, default=600, help="candidates in the throughput pass"
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=10, help="MCTS iteration budget"
+    )
+    parser.add_argument(
+        "--final-cap", type=int, default=400, help="final widget-pass cap"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="search RNG seed")
+    parser.add_argument("--json", metavar="PATH", help="write machine-readable results")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero unless >=3x throughput, zero parity mismatches, "
+        "and kernel MCTS cost <= legacy at equal iterations",
+    )
+    args = parser.parse_args(argv)
+    if args.queries < 2 or args.evals < 2 or args.iterations < 1:
+        parser.error("--queries/--evals must be >= 2, --iterations >= 1")
+
+    result = run(args.queries, args.evals, args.iterations, args.final_cap, args.seed)
+
+    print("\n=== BENCH-KERNEL — compiled cost kernel vs reference path ===")
+    for name, data in result["workloads"].items():
+        tp, mc = data["throughput"], data["mcts"]
+        print(
+            f"[{name}] exhaustive pass: {tp['candidates']} candidates  "
+            f"legacy {tp['legacy_evals_per_s']:.0f}/s  "
+            f"kernel {tp['kernel_evals_per_s']:.0f}/s  "
+            f"speedup {tp['speedup']:.1f}x  "
+            f"(mismatches: {tp['parity_mismatches']})"
+        )
+        print(
+            f"[{name}] mcts x{mc['iterations']} iters: "
+            f"legacy cost {mc['legacy_cost']:.3f} in {mc['legacy_seconds']:.2f}s, "
+            f"kernel cost {mc['kernel_cost']:.3f} in {mc['kernel_seconds']:.2f}s "
+            f"({mc['speedup']}x, equal={mc['costs_equal']})"
+        )
+    print(
+        f"\nmin throughput speedup: {result['min_throughput_speedup']:.1f}x "
+        f"(gate: >= 3x) | parity clean: {result['parity_clean']} | "
+        f"mcts cost <= legacy: {result['mcts_cost_leq_legacy']}"
+    )
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    ok = (
+        result["throughput_geq_3x"]
+        and result["parity_clean"]
+        and result["mcts_cost_leq_legacy"]
+    )
+    if args.strict and not ok:
+        print("STRICT: acceptance criteria not met", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

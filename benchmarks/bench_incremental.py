@@ -27,7 +27,13 @@ import time
 from typing import List
 
 from repro import GenerationConfig, IncrementalGenerator, generate_interface
-from repro.workloads import sdss_session_sql
+from repro.workloads import sdss_session_sql, tpch_session_sql
+
+#: Growing-log session generators by scenario name.
+WORKLOADS = {
+    "sdss": sdss_session_sql,
+    "tpch": tpch_session_sql,
+}
 
 
 def run(
@@ -35,9 +41,10 @@ def run(
     chunk: int,
     budget_s: float,
     seed: int,
+    workload: str = "sdss",
 ) -> dict:
     """Grow the log chunk-by-chunk; generate warm and cold at each step."""
-    log = sdss_session_sql(num_queries, seed=0)
+    log = WORKLOADS[workload](num_queries, seed=0)
     config = GenerationConfig(time_budget_s=budget_s, seed=seed)
     service = IncrementalGenerator(config=config)
 
@@ -78,6 +85,7 @@ def run(
 
     return {
         "bench": "incremental",
+        "workload": workload,
         "queries": num_queries,
         "chunk": chunk,
         "budget_s": budget_s,
@@ -106,6 +114,12 @@ def main(argv=None) -> int:
     parser.add_argument("--chunk", type=int, default=5, help="queries appended per step")
     parser.add_argument("--budget", type=float, default=0.8, help="per-step search budget (s)")
     parser.add_argument("--seed", type=int, default=0, help="search RNG seed")
+    parser.add_argument(
+        "--workload",
+        choices=sorted(WORKLOADS),
+        default="sdss",
+        help="growing-log scenario (sdss range-drift or tpch analytic session)",
+    )
     parser.add_argument("--json", metavar="PATH", help="write machine-readable results")
     parser.add_argument(
         "--strict",
@@ -116,10 +130,13 @@ def main(argv=None) -> int:
     if args.queries < 1 or args.chunk < 1 or args.budget <= 0:
         parser.error("--queries and --chunk must be >= 1, --budget > 0")
 
-    result = run(args.queries, args.chunk, args.budget, args.seed)
+    result = run(args.queries, args.chunk, args.budget, args.seed, args.workload)
 
     header = f"{'log':>5}  {'warm cost':>10}  {'warm s':>7}  {'cold cost':>10}  {'cold s':>7}"
-    print("\n=== BENCH-INC — warm-started incremental vs cold restart ===")
+    print(
+        f"\n=== BENCH-INC — warm-started incremental vs cold restart "
+        f"[{args.workload}] ==="
+    )
     print(header)
     print("-" * len(header))
     for step in result["steps"]:

@@ -1,4 +1,4 @@
-"""Cost model C(W,Q) and difftree-state evaluation."""
+"""Cost model C(W,Q), compiled evaluation kernel, and state evaluation."""
 
 from .evaluate import (
     EvaluatedInterface,
@@ -7,12 +7,22 @@ from .evaluate import (
     sampled_evaluation,
     worst_sampled_evaluation,
 )
+from .kernel import (
+    BoundedLRU,
+    CompiledSequence,
+    CostKernel,
+    KernelStats,
+)
 from .model import CostBreakdown, CostModel, CostWeights
 
 __all__ = [
     "CostModel",
     "CostWeights",
     "CostBreakdown",
+    "CostKernel",
+    "CompiledSequence",
+    "KernelStats",
+    "BoundedLRU",
     "EvaluatedInterface",
     "sampled_evaluation",
     "exhaustive_evaluation",

@@ -7,28 +7,25 @@ samples with the greedy assignment, which empirically tightens the
 estimate at no extra cost.  After the search, the winning difftree gets a
 thorough optimization pass: exhaustive enumeration when the decision
 product is small, coordinate descent otherwise.
+
+All paths run through the compiled kernel (:mod:`repro.cost.kernel`):
+candidates are *decision vectors*, scored against flat arrays with delta
+re-evaluation between enumeration neighbors, and only the winning vector
+is materialized back into a real widget tree.  Candidate order, RNG
+consumption, and tie-breaking replicate the pre-kernel implementations
+exactly, so results are bit-for-bit unchanged — just cheaper.
 """
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..difftree import DTNode
-from ..widgets.tree import (
-    ORIENTATIONS,
-    GreedyChooser,
-    RandomChooser,
-    ReplayChooser,
-    SIZE_CLASSES,
-    WidgetNode,
-    decision_space,
-    derive_widget_tree,
-    enumerate_widget_trees,
-)
-from .model import CostBreakdown, CostModel
+from ..widgets.tree import ORIENTATIONS, SIZE_CLASSES, WidgetNode
+from .kernel import CostBreakdown, CostKernel
+from .model import CostModel
 
 
 @dataclass(frozen=True)
@@ -49,6 +46,14 @@ class EvaluatedInterface:
         return self.breakdown.rank
 
 
+def _materialized(
+    kernel: CostKernel, vector: Sequence[object], breakdown: CostBreakdown
+) -> EvaluatedInterface:
+    return EvaluatedInterface(
+        kernel.tree, kernel.materialize(vector), breakdown
+    )
+
+
 def sampled_evaluation(
     model: CostModel,
     tree: DTNode,
@@ -56,22 +61,28 @@ def sampled_evaluation(
     rng: Optional[random.Random] = None,
     include_greedy: bool = True,
 ) -> EvaluatedInterface:
-    """Best of ``k`` sampled widget assignments for ``tree``."""
+    """Best of ``k`` sampled widget assignments for ``tree``.
+
+    Samples are decision vectors drawn with the same RNG consumption as
+    chooser-driven derivation; only the winner becomes a widget tree.
+    """
     rng = rng or random.Random(0)
-    best: Optional[EvaluatedInterface] = None
-    samples = []
+    kernel = model.kernel_for(tree)
+    vectors: List[List[object]] = []
     if include_greedy:
-        samples.append(derive_widget_tree(tree, GreedyChooser()))
+        vectors.append(kernel.schema.greedy_vector())
         k = max(0, k - 1)
     for _ in range(k):
-        samples.append(derive_widget_tree(tree, RandomChooser(rng)))
-    for widget_tree in samples:
-        breakdown = model.evaluate(tree, widget_tree)
-        candidate = EvaluatedInterface(tree, widget_tree, breakdown)
-        if best is None or candidate.rank < best.rank:
-            best = candidate
-    assert best is not None
-    return best
+        vectors.append(kernel.schema.random_vector(rng))
+    best_vector: Optional[Tuple[object, ...]] = None
+    best: Optional[CostBreakdown] = None
+    for vector in vectors:
+        breakdown = kernel.evaluate(vector)
+        if best is None or breakdown.rank < best.rank:
+            best = breakdown
+            best_vector = tuple(vector)
+    assert best is not None and best_vector is not None
+    return _materialized(kernel, best_vector, best)
 
 
 def exhaustive_evaluation(
@@ -79,68 +90,78 @@ def exhaustive_evaluation(
 ) -> EvaluatedInterface:
     """Best widget tree over the (capped) full decision product.
 
+    Enumerates decision vectors with per-candidate delta re-evaluation
+    (the kernel patches only what each single choice change touched).
     Falls back to coordinate descent when the product exceeds ``cap`` —
-    the cap keeps the paper's "enumerate all possible widget trees for the
-    final difftree" tractable for large interfaces.
+    the cap keeps the paper's "enumerate all possible widget trees for
+    the final difftree" tractable for large interfaces.
     """
-    space = decision_space(tree)
-    if space.num_assignments <= cap:
-        best: Optional[EvaluatedInterface] = None
-        for widget_tree in enumerate_widget_trees(tree, cap=cap):
-            breakdown = model.evaluate(tree, widget_tree)
-            candidate = EvaluatedInterface(tree, widget_tree, breakdown)
-            if best is None or candidate.rank < best.rank:
-                best = candidate
-        assert best is not None
-        return best
+    kernel = model.kernel_for(tree)
+    if kernel.schema.num_assignments <= cap:
+        best_vector: Optional[Tuple[object, ...]] = None
+        best: Optional[CostBreakdown] = None
+        for vector, breakdown in kernel.iter_enumeration(cap=cap):
+            if best is None or breakdown.rank < best.rank:
+                best = breakdown
+                best_vector = vector
+        assert best is not None and best_vector is not None
+        return _materialized(kernel, best_vector, best)
     return coordinate_descent(model, tree)
 
 
 def coordinate_descent(
     model: CostModel, tree: DTNode, max_rounds: int = 6
 ) -> EvaluatedInterface:
-    """Optimize decisions one at a time until a fixpoint (local optimum)."""
-    space = decision_space(tree)
-    widgets = {path: (options[0], "M") for path, options in space.widget_options.items()}
-    orientations = {path: "vertical" for path in space.orientation_points}
+    """Optimize decisions one at a time until a fixpoint (local optimum).
 
-    def build_and_cost() -> EvaluatedInterface:
-        widget_tree = derive_widget_tree(
-            tree, ReplayChooser(dict(widgets), dict(orientations))
-        )
-        return EvaluatedInterface(tree, widget_tree, model.evaluate(tree, widget_tree))
-
-    current = build_and_cost()
+    Each trial move is one kernel delta (patch + breakdown), not a full
+    rebuild; the loop structure and visit order match the pre-kernel
+    implementation so the fixpoint is identical.
+    """
+    kernel = model.kernel_for(tree)
+    schema = kernel.schema
+    widget_indices = schema.widget_indices
+    orientation_indices = schema.orientation_indices
+    vector = schema.greedy_vector()
+    kernel.set_vector(vector)
+    current = kernel.breakdown()
+    best_vector = tuple(vector)
     for _ in range(max_rounds):
         improved = False
-        for path, options in sorted(space.widget_options.items()):
-            original = widgets[path]
-            for name in options:
+        for index in widget_indices:
+            original = vector[index]
+            for name in schema.decisions[index].candidates:
                 for size_class in SIZE_CLASSES:
                     if (name, size_class) == original:
                         continue
-                    widgets[path] = (name, size_class)
-                    candidate = build_and_cost()
+                    vector[index] = (name, size_class)
+                    kernel.apply_delta(index, (name, size_class))
+                    candidate = kernel.breakdown()
                     if candidate.rank < current.rank:
                         current = candidate
                         original = (name, size_class)
+                        best_vector = tuple(vector)
                         improved = True
-            widgets[path] = original
-        for path in space.orientation_points:
-            original_o = orientations[path]
+            vector[index] = original
+            kernel.apply_delta(index, original)
+        for index in orientation_indices:
+            original = vector[index]
             for orientation in ORIENTATIONS:
-                if orientation == original_o:
+                if orientation == original:
                     continue
-                orientations[path] = orientation
-                candidate = build_and_cost()
+                vector[index] = orientation
+                kernel.apply_delta(index, orientation)
+                candidate = kernel.breakdown()
                 if candidate.rank < current.rank:
                     current = candidate
-                    original_o = orientation
+                    original = orientation
+                    best_vector = tuple(vector)
                     improved = True
-            orientations[path] = original_o
+            vector[index] = original
+            kernel.apply_delta(index, original)
         if not improved:
             break
-    return current
+    return _materialized(kernel, best_vector, current)
 
 
 def worst_sampled_evaluation(
@@ -155,16 +176,21 @@ def worst_sampled_evaluation(
     that poor widget choices are easily possible.
     """
     rng = rng or random.Random(0)
-    worst: Optional[EvaluatedInterface] = None
-    fallback: Optional[EvaluatedInterface] = None
+    kernel = model.kernel_for(tree)
+    worst: Optional[CostBreakdown] = None
+    worst_vector: Optional[Tuple[object, ...]] = None
+    fallback: Optional[CostBreakdown] = None
+    fallback_vector: Optional[Tuple[object, ...]] = None
     for _ in range(k):
-        widget_tree = derive_widget_tree(tree, RandomChooser(rng))
-        breakdown = model.evaluate(tree, widget_tree)
-        candidate = EvaluatedInterface(tree, widget_tree, breakdown)
-        if fallback is None or candidate.cost > fallback.cost:
-            fallback = candidate
-        if breakdown.feasible and (worst is None or candidate.cost > worst.cost):
-            worst = candidate
-    result = worst or fallback
-    assert result is not None
-    return result
+        vector = kernel.schema.random_vector(rng)
+        breakdown = kernel.evaluate(vector)
+        if fallback is None or breakdown.total > fallback.total:
+            fallback = breakdown
+            fallback_vector = tuple(vector)
+        if breakdown.feasible and (worst is None or breakdown.total > worst.total):
+            worst = breakdown
+            worst_vector = tuple(vector)
+    breakdown = worst if worst is not None else fallback
+    vector = worst_vector if worst_vector is not None else fallback_vector
+    assert breakdown is not None and vector is not None
+    return _materialized(kernel, vector, breakdown)

@@ -12,93 +12,129 @@ widgets — how far the user's attention/mouse must travel across the layout
 hierarchy — plus (b) each touched widget's interaction effort.
 
 A widget tree that does not fit the screen is invalid: infinite cost.
+
+Evaluation is delegated to the compiled kernel (:mod:`repro.cost.kernel`):
+per difftree, the query sequence is diffed once into interned
+changed-choice sets and the widget topology flattened into arrays, so
+scoring a candidate is table lookups instead of tree walks.  The original
+walk-everything implementation survives as :meth:`CostModel.evaluate_reference`
+— both the fallback for widget trees the kernel cannot adopt and the
+ground truth the differential parity tests compare the kernel against.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..difftree import Assignment, DTNode, Path, assignment_for, changed_choices
-from ..layout import Screen, fits, measure
+from ..layout import Screen, measure
 from ..sqlast import nodes as N
 from ..widgets.tree import WidgetNode
+from .kernel import (
+    BoundedLRU,
+    CompiledSequence,
+    CostBreakdown,
+    CostKernel,
+    CostWeights,
+    KernelStats,
+)
 
+__all__ = ["CostModel", "CostWeights", "CostBreakdown"]
 
-@dataclass(frozen=True)
-class CostWeights:
-    """Linear weights of the cost terms.
-
-    Attributes:
-        m: weight of the appropriateness sum Σ M(w).
-        u: weight of the sequence-usability sum Σ U.  The default keeps
-            one widget interaction roughly comparable to a fraction of an
-            appropriateness point, so a fine-grained interface that takes
-            a few more clicks per log step still beats one giant
-            whole-query chooser (the paper's preferred trade-off, cf.
-            Figure 6(a) versus Figure 2(a)-style interfaces).
-        steiner: weight (inside U) of the connecting-subtree size.
-        effort: weight (inside U) of per-widget interaction effort.
-    """
-
-    m: float = 1.0
-    u: float = 0.3
-    steiner: float = 0.25
-    effort: float = 1.0
-
-
-@dataclass(frozen=True)
-class CostBreakdown:
-    """Itemized cost of one widget tree for one query sequence."""
-
-    m_cost: float
-    u_cost: float
-    feasible: bool
-    width: float
-    height: float
-    steiner_nodes: int = 0
-    effort: float = 0.0
-    pair_costs: Tuple[float, ...] = ()
-    overflow_w: float = 0.0
-    overflow_h: float = 0.0
-
-    @property
-    def total(self) -> float:
-        if not self.feasible:
-            return math.inf
-        return self.m_cost + self.u_cost
-
-    @property
-    def rank(self) -> Tuple[int, float]:
-        """Total order usable even among invalid interfaces.
-
-        Feasible interfaces compare by cost; infeasible ones compare by
-        how far they overflow the screen (then by finite cost), so
-        optimizers have a gradient toward feasibility instead of a flat
-        infinite plateau.
-        """
-        if self.feasible:
-            return (0, self.m_cost + self.u_cost)
-        return (1, self.overflow_w + self.overflow_h + self.m_cost + self.u_cost)
+#: Cache-miss sentinel (``None`` is a legitimate cached value).
+_MISSING = object()
 
 
 class CostModel:
-    """Evaluates widget trees against a query sequence and a screen."""
+    """Evaluates widget trees against a query sequence and a screen.
+
+    Args:
+        queries: the input query log, in session order.
+        screen: the output screen constraint.
+        weights: linear weights of the cost terms.
+        kernel_cache_size: how many per-difftree compiled kernels to keep
+            (bounded LRU — long sessions evict cold kernels one at a
+            time, never wholesale).
+        assignment_cache_size: bound of the per-difftree assignment cache.
+    """
 
     def __init__(
         self,
         queries: Sequence[N.Node],
         screen: Screen,
         weights: CostWeights = CostWeights(),
+        kernel_cache_size: int = 512,
+        assignment_cache_size: int = 4096,
     ) -> None:
         if not queries:
             raise ValueError("cost model needs at least one query")
         self.queries = list(queries)
         self.screen = screen
         self.weights = weights
-        #: difftree canonical key -> per-query assignments (cache).
-        self._assignment_cache: Dict[str, Optional[List[Assignment]]] = {}
+        #: difftree canonical key -> per-query assignments (bounded LRU).
+        self._assignment_cache = BoundedLRU(assignment_cache_size)
+        #: difftree canonical key -> compiled kernel (bounded LRU).
+        self._kernels = BoundedLRU(kernel_cache_size)
+        #: difftree canonical key -> prior-run CompiledSequence to extend
+        #: (seeded by repro.serve across grafted generations).
+        self._carried_sequences: Dict[str, CompiledSequence] = {}
+        self.kernel_stats = KernelStats()
+
+    # -- compiled kernel ------------------------------------------------------
+
+    def kernel_for(self, tree: DTNode) -> CostKernel:
+        """The compiled evaluation kernel of ``tree`` (cached)."""
+        key = tree.canonical_key
+        kernel = self._kernels.get(key)
+        if kernel is None:
+            kernel = CostKernel(
+                tree,
+                self._sequence_for(tree),
+                self.screen,
+                self.weights,
+                stats=self.kernel_stats,
+            )
+            self._kernels[key] = kernel
+            self.kernel_stats.kernels_compiled += 1
+        return kernel
+
+    def _sequence_for(self, tree: DTNode) -> CompiledSequence:
+        """Compile (or extend) the query sequence for ``tree``.
+
+        When :mod:`repro.serve` carried a prior run's sequence for the
+        same difftree and our query log extends its log, only the
+        appended queries are matched and only the new pairs diffed.
+        """
+        key = tree.canonical_key
+        carried = self._carried_sequences.get(key)
+        if carried is not None:
+            prefix = len(carried.queries)
+            if prefix <= len(self.queries) and list(carried.queries) == self.queries[:prefix]:
+                sequence = carried.extend(tree, self.queries[prefix:])
+                if prefix < len(self.queries):
+                    self.kernel_stats.sequences_extended += 1
+                self._assignment_cache[key] = sequence.assignments
+                return sequence
+        sequence = CompiledSequence.compile(
+            tree, self.queries, assignments=self.assignments(tree)
+        )
+        self.kernel_stats.sequences_compiled += 1
+        return sequence
+
+    def compiled_sequence(self, tree: DTNode) -> CompiledSequence:
+        """The compiled sequence of ``tree`` (for serve-layer carry-over)."""
+        return self.kernel_for(tree).sequence
+
+    def adopt_sequences(self, carried: Mapping[str, CompiledSequence]) -> None:
+        """Seed prior-run compiled sequences, keyed by difftree canonical key.
+
+        Used by :class:`repro.serve.IncrementalGenerator`: when a warm
+        session extends a previous log, the prior best difftree's
+        sequence lets this model diff only the newly appended query
+        pairs instead of recompiling the whole log.
+        """
+        self._carried_sequences.update(carried)
 
     # -- M term -------------------------------------------------------------
 
@@ -118,23 +154,23 @@ class CostModel:
         state; rules never produce one, but callers stay defensive).
         """
         key = tree.canonical_key
-        if key not in self._assignment_cache:
-            assignments: Optional[List[Assignment]] = []
-            for query in self.queries:
-                assignment = assignment_for(tree, query)
-                if assignment is None:
-                    assignments = None
-                    break
-                assignments.append(assignment)
-            if len(self._assignment_cache) > 4096:
-                self._assignment_cache.clear()
-            self._assignment_cache[key] = assignments
-        return self._assignment_cache[key]
+        cached = self._assignment_cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        assignments: Optional[List[Assignment]] = []
+        for query in self.queries:
+            assignment = assignment_for(tree, query)
+            if assignment is None:
+                assignments = None
+                break
+            assignments.append(assignment)
+        self._assignment_cache[key] = assignments
+        return assignments
 
     def sequence_cost(
         self, tree: DTNode, root: WidgetNode
     ) -> Tuple[float, int, float, List[float]]:
-        """Σ U over consecutive query pairs.
+        """Σ U over consecutive query pairs (reference implementation).
 
         Returns ``(u_total, steiner_nodes_total, effort_total, per_pair)``.
         """
@@ -166,7 +202,28 @@ class CostModel:
     # -- total -------------------------------------------------------------
 
     def evaluate(self, tree: DTNode, root: WidgetNode) -> CostBreakdown:
-        """Full cost of one (difftree, widget tree) pair."""
+        """Full cost of one (difftree, widget tree) pair.
+
+        Delegates to the compiled kernel when ``root`` shares the
+        difftree's derivation topology (every tree produced by the
+        choosers does); hand-built or foreign trees fall back to
+        :meth:`evaluate_reference`.  Both paths return identical
+        breakdowns — the kernel's parity invariant.
+        """
+        kernel = self.kernel_for(tree)
+        vector = kernel.adopt(root)
+        if vector is None:
+            self.kernel_stats.fallback_evals += 1
+            return self.evaluate_reference(tree, root)
+        self.kernel_stats.adopted_evals += 1
+        return kernel.evaluate(vector)
+
+    def evaluate_reference(self, tree: DTNode, root: WidgetNode) -> CostBreakdown:
+        """Walk-everything evaluation (pre-kernel reference semantics).
+
+        Kept as the kernel's ground truth: ``evaluate`` must equal this
+        on every breakdown field for any tree the kernel adopts.
+        """
         box = measure(root)
         feasible = box.width <= self.screen.width and box.height <= self.screen.height
         m_cost = self.weights.m * self.appropriateness(root)
@@ -188,7 +245,7 @@ class CostModel:
         )
 
 
-# -- Steiner subtree on the widget tree -----------------------------------------
+# -- Steiner subtree on the widget tree (reference implementation) ---------------
 
 
 def _tree_indexes(

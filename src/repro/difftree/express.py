@@ -17,6 +17,7 @@ node's children, like a small regular expression over child lists.
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from ..sqlast import nodes as N
@@ -165,6 +166,75 @@ def changed_choices(a: Assignment, b: Assignment) -> List[Path]:
     """
     paths = set(a) | set(b)
     return sorted(p for p in paths if a.get(p) != b.get(p))
+
+
+def changed_choice_sets(assignments: Sequence[Assignment]) -> List[Tuple[Path, ...]]:
+    """Per-consecutive-pair changed choice paths, each sorted.
+
+    ``changed_choice_sets(a)[i] == tuple(changed_choices(a[i], a[i+1]))``;
+    computing them in one pass lets the cost kernel diff a query sequence
+    exactly once per difftree instead of once per candidate widget tree.
+    """
+    return [
+        tuple(changed_choices(a, b)) for a, b in zip(assignments, assignments[1:])
+    ]
+
+
+@dataclass(frozen=True)
+class CompiledChanges:
+    """Interned changed-choice sets of one per-query assignment sequence.
+
+    Choice paths are interned to dense int ids assigned in lexicographic
+    path order, so iterating a pair's ids ascending visits its paths in
+    the exact order :func:`changed_choices` reports them — downstream
+    float accumulations (widget-effort sums) stay bitwise identical to
+    the path-at-a-time reference implementation.
+
+    Attributes:
+        paths: id -> path (lexicographically sorted, so ids are ordered).
+        ids: path -> id.
+        pair_paths: per consecutive query pair, the sorted changed paths.
+        pair_ids: the same pairs as sorted int-id tuples.
+    """
+
+    paths: Tuple[Path, ...]
+    ids: Dict[Path, int]
+    pair_paths: Tuple[Tuple[Path, ...], ...]
+    pair_ids: Tuple[Tuple[int, ...], ...]
+
+    @classmethod
+    def from_pair_paths(
+        cls, pair_paths: Sequence[Tuple[Path, ...]]
+    ) -> "CompiledChanges":
+        """Intern an explicit list of per-pair changed-path sets."""
+        universe = sorted({p for pair in pair_paths for p in pair})
+        ids = {path: i for i, path in enumerate(universe)}
+        return cls(
+            paths=tuple(universe),
+            ids=ids,
+            pair_paths=tuple(tuple(pair) for pair in pair_paths),
+            pair_ids=tuple(
+                tuple(ids[p] for p in pair) for pair in pair_paths
+            ),
+        )
+
+    @classmethod
+    def compile(cls, assignments: Sequence[Assignment]) -> "CompiledChanges":
+        """Diff a whole assignment sequence once and intern the result."""
+        return cls.from_pair_paths(changed_choice_sets(assignments))
+
+    def extended(
+        self, tail_pair_paths: Sequence[Tuple[Path, ...]]
+    ) -> "CompiledChanges":
+        """New compilation with extra trailing pairs (appended queries).
+
+        Only the appended pairs are diffed by the caller; the existing
+        pair sets are reused verbatim and merely re-interned (id
+        assignment must stay lexicographic over the grown path universe).
+        """
+        return CompiledChanges.from_pair_paths(
+            self.pair_paths + tuple(tuple(pair) for pair in tail_pair_paths)
+        )
 
 
 # -- enumeration / counting ----------------------------------------------------

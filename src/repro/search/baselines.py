@@ -20,7 +20,7 @@ from typing import Optional
 from ..cost import CostModel
 from ..difftree import DTNode
 from ..rules import RuleEngine, default_engine
-from .common import SearchResult, StateEvaluator
+from .common import SearchResult, StateEvaluator, finish_search
 
 
 def random_search(
@@ -52,15 +52,7 @@ def random_search(
             evaluator.evaluate(current)
             evaluator.stats.walk_steps += 1
         evaluator.stats.iterations += 1
-    best = evaluator.finalize(final_cap=final_cap)
-    return SearchResult(
-        best=best,
-        best_state=best.tree,
-        history=list(evaluator.history),
-        stats=evaluator.stats,
-        elapsed=evaluator.elapsed,
-        strategy="random",
-    )
+    return finish_search(evaluator, "random", final_cap=final_cap)
 
 
 def greedy_search(
@@ -116,15 +108,7 @@ def greedy_search(
                 break
             state = engine.apply(state, rng.choice(moves))
         descend(state)
-    best = evaluator.finalize(final_cap=final_cap)
-    return SearchResult(
-        best=best,
-        best_state=best.tree,
-        history=list(evaluator.history),
-        stats=evaluator.stats,
-        elapsed=evaluator.elapsed,
-        strategy="greedy",
-    )
+    return finish_search(evaluator, "greedy", final_cap=final_cap)
 
 
 def beam_search(
@@ -164,15 +148,7 @@ def beam_search(
         beam = [state for _, _, state in candidates[:beam_width]]
         evaluator.stats.iterations += 1
         evaluator.stats.max_depth = depth + 1
-    best = evaluator.finalize(final_cap=final_cap)
-    return SearchResult(
-        best=best,
-        best_state=best.tree,
-        history=list(evaluator.history),
-        stats=evaluator.stats,
-        elapsed=evaluator.elapsed,
-        strategy="beam",
-    )
+    return finish_search(evaluator, "beam", final_cap=final_cap)
 
 
 def exhaustive_search(
@@ -209,12 +185,4 @@ def exhaustive_search(
             evaluator.evaluate(successor)
             queue.append(successor)
         evaluator.stats.iterations += 1
-    best = evaluator.finalize(final_cap=final_cap)
-    return SearchResult(
-        best=best,
-        best_state=best.tree,
-        history=list(evaluator.history),
-        stats=evaluator.stats,
-        elapsed=evaluator.elapsed,
-        strategy="exhaustive",
-    )
+    return finish_search(evaluator, "exhaustive", final_cap=final_cap)

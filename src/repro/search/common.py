@@ -15,8 +15,17 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..cost import CostModel, EvaluatedInterface, exhaustive_evaluation, sampled_evaluation
+from ..cost import (
+    BoundedLRU,
+    CostModel,
+    EvaluatedInterface,
+    exhaustive_evaluation,
+    sampled_evaluation,
+)
 from ..difftree import DTNode
+
+#: Bound of the per-state evaluation cache (entries, LRU-evicted).
+_STATE_CACHE_CAPACITY = 100_000
 
 
 @dataclass
@@ -28,6 +37,11 @@ class SearchStats:
     lazy UCT max-heap re-scored on pop (see ``MCTS._select``).
     ``warm_states_seeded`` counts warm-start states injected into the
     transposition table before the search loop (``repro.serve``).
+    The ``kernel_*`` counters snapshot the cost model's compiled-kernel
+    activity at the end of the run (see ``repro.cost.kernel``):
+    candidate evaluations split into full vector loads and single-choice
+    delta patches, plus how many widget trees had to fall back to the
+    reference evaluator.
     """
 
     iterations: int = 0
@@ -39,6 +53,11 @@ class SearchStats:
     frontier_peak: int = 0
     frontier_refreshes: int = 0
     warm_states_seeded: int = 0
+    kernel_compiles: int = 0
+    kernel_full_evals: int = 0
+    kernel_delta_evals: int = 0
+    kernel_fallback_evals: int = 0
+    kernel_sequences_extended: int = 0
 
 
 @dataclass
@@ -79,7 +98,10 @@ class StateEvaluator:
         self.model = model
         self.k_assignments = k_assignments
         self.rng = random.Random(seed)
-        self._cache: Dict[str, EvaluatedInterface] = {}
+        #: state canonical key -> sampled evaluation.  Bounded LRU: long
+        #: serving sessions evict cold states one at a time instead of the
+        #: previous wholesale ``.clear()`` that also dropped the incumbent.
+        self._cache: BoundedLRU = BoundedLRU(_STATE_CACHE_CAPACITY)
         #: Canonical keys already given the exhaustive widget pass (at the
         #: cap they were evaluated with) — lets finalize skip a recompute.
         self._exhaustive: Dict[str, int] = {}
@@ -105,8 +127,6 @@ class StateEvaluator:
         evaluated = sampled_evaluation(
             self.model, state, k=self.k_assignments, rng=self.rng
         )
-        if len(self._cache) > 100_000:
-            self._cache.clear()
         self._cache[key] = evaluated
         self.stats.states_evaluated += 1
         if self.best is None or evaluated.rank < self.best.rank:
@@ -152,6 +172,35 @@ class StateEvaluator:
             self.best = optimized
             self.history.append((self.elapsed, optimized.cost))
         return self.best
+
+    def snapshot_kernel_stats(self) -> None:
+        """Copy the model's compiled-kernel counters into the stats."""
+        kernel = self.model.kernel_stats
+        self.stats.kernel_compiles = kernel.kernels_compiled
+        self.stats.kernel_full_evals = kernel.full_evals
+        self.stats.kernel_delta_evals = kernel.delta_evals
+        self.stats.kernel_fallback_evals = kernel.fallback_evals
+        self.stats.kernel_sequences_extended = kernel.sequences_extended
+
+
+def finish_search(
+    evaluator: StateEvaluator, strategy: str, final_cap: int = 4000
+) -> SearchResult:
+    """Shared end-of-search phase for every strategy.
+
+    Runs the paper's thorough widget pass on the incumbent, snapshots
+    the compiled-kernel counters, and packages the :class:`SearchResult`.
+    """
+    best = evaluator.finalize(final_cap=final_cap)
+    evaluator.snapshot_kernel_stats()
+    return SearchResult(
+        best=best,
+        best_state=best.tree,
+        history=list(evaluator.history),
+        stats=evaluator.stats,
+        elapsed=evaluator.elapsed,
+        strategy=strategy,
+    )
 
 
 def normalized_reward(cost: float, best: float, worst: float) -> float:

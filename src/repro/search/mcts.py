@@ -11,7 +11,10 @@ Faithful to the paper's description:
   stays on a comparable scale — and is backpropagated to every state on
   the path to the root.
 * State costs are estimated by the best of ``k`` random widget
-  assignments (greedy-seeded).
+  assignments (greedy-seeded), scored through the compiled cost kernel
+  (:mod:`repro.cost.kernel`): samples are decision vectors evaluated
+  against per-state flat arrays, so a rollout step costs table lookups
+  rather than widget-tree derivations and walks.
 * The search stops on a wall-clock budget (paper: ~1 minute) or an
   iteration cap; the best difftree then receives an exhaustive widget
   enumeration pass.
@@ -46,7 +49,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..cost import CostModel
 from ..difftree import DTNode
 from ..rules import RuleEngine, default_engine
-from .common import SearchResult, StateEvaluator, normalized_reward
+from .common import SearchResult, StateEvaluator, finish_search, normalized_reward
 
 #: The compressing (forward) rules used by the biased rollout policy.
 _FORWARD_RULES = ("Lift", "Any2All", "Optional", "Multi")
@@ -212,15 +215,7 @@ class MCTS:
             self._iterate()
             self.evaluator.stats.iterations += 1
 
-        best = self.evaluator.finalize(final_cap=config.final_cap)
-        return SearchResult(
-            best=best,
-            best_state=best.tree,
-            history=list(self.evaluator.history),
-            stats=self.evaluator.stats,
-            elapsed=self.evaluator.elapsed,
-            strategy="mcts",
-        )
+        return finish_search(self.evaluator, "mcts", final_cap=config.final_cap)
 
     # -- internals -----------------------------------------------------------
 

@@ -18,6 +18,17 @@ that in three layers:
    still warm-start from the cached interface of its longest cached log
    prefix (e.g. a restarted session replaying its history).
 
+On top of the state warm start, each session carries the *compiled
+query sequences* (:class:`repro.cost.CompiledSequence`) of its previous
+winner and elite states.  When the next run's extended state is the
+same difftree (grafting is a no-op whenever the tree already expresses
+the appended queries — the common case for sessions revisiting familiar
+query shapes), the new cost model reuses the prior per-query
+assignments and changed-choice sets wholesale and only diffs the newly
+appended pairs.  A grafted (structurally changed) tree shifts its
+choice paths, so its carry entry simply misses and the sequence is
+recompiled — correctness never depends on the carry.
+
 Warm seeding spends the same per-evaluation budget as search, so warm
 and cold runs at equal ``time_budget_s`` are directly comparable — the
 contract the incremental benchmark checks.
@@ -34,6 +45,7 @@ from ..core import (
     as_mcts_config,
     prepare_search,
 )
+from ..cost import CompiledSequence
 from ..difftree import DTNode, extend_difftree
 from ..layout import Screen
 from ..rules import RuleEngine
@@ -52,6 +64,10 @@ class _SessionState:
     log_len: int = 0
     best: Optional[DTNode] = None
     elite: Tuple[DTNode, ...] = ()
+    #: difftree canonical key -> compiled query sequence of the previous
+    #: run's winner/elites; the next run's cost model extends these so
+    #: appended queries only diff the new pairs.
+    sequences: Dict[str, CompiledSequence] = field(default_factory=dict)
 
 
 class IncrementalGenerator:
@@ -124,7 +140,7 @@ class IncrementalGenerator:
             return cached
 
         warm = self._warm_states(state, stream, asts)
-        result, elite = self._search(asts, warm)
+        result, elite = self._search(asts, warm, state)
         self.searches_run += 1
         # Bound the key reads to the snapshot taken above: a concurrent
         # append during the search must not tag this entry with queries
@@ -163,14 +179,22 @@ class IncrementalGenerator:
         return warm
 
     def _search(
-        self, asts, warm: List[DTNode]
+        self, asts, warm: List[DTNode], state: _SessionState
     ) -> Tuple[GeneratedInterface, Tuple[DTNode, ...]]:
         asts, screen, model, initial, engine = prepare_search(
             asts, screen=self.screen, config=self.config, engine=self.engine
         )
+        # Prior-run compiled sequences: warm states that graft into the
+        # same difftree reuse their assignments and changed-choice sets,
+        # paying matcher/diff cost only for the appended query pairs.
+        if state.sequences:
+            model.adopt_sequences(state.sequences)
         mcts = MCTS(model, engine=engine, config=as_mcts_config(self.config))
         search_result = mcts.search(initial, warm_states=warm)
         elite = self._elite_states(mcts, initial, search_result.best_state)
+        state.sequences = self._harvest_sequences(
+            model, (search_result.best_state,) + elite
+        )
         result = GeneratedInterface(
             queries=list(asts),
             screen=screen,
@@ -178,6 +202,14 @@ class IncrementalGenerator:
             best=search_result.best,
         )
         return result, elite
+
+    def _harvest_sequences(
+        self, model, trees: Tuple[DTNode, ...]
+    ) -> Dict[str, CompiledSequence]:
+        """Compiled sequences of the states carried into the next run."""
+        return {
+            tree.canonical_key: model.compiled_sequence(tree) for tree in trees
+        }
 
     def _elite_states(
         self, mcts: MCTS, initial: DTNode, best_state: DTNode

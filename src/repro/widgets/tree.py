@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Protocol, Sequence, Tuple
+from functools import cached_property
+from typing import Dict, Iterator, List, Optional, Protocol, Sequence, Tuple, Union
 
 from ..difftree import ANY, EMPTY, MULTI, OPT, DTNode, Path
 from ..difftree.dtnodes import ALL
@@ -50,6 +51,11 @@ class WidgetNode:
         children: nested widget nodes (tab pages, grouped widgets, the
             adder's content, a layout box's members).
         title: short caption giving AST context (e.g. ``"cty ="``).
+        orientation_path: for layout boxes whose orientation is a free
+            derivation decision, the decision point's path (the argument
+            passed to ``Chooser.choose_orientation``); ``None`` for fixed
+            boxes and non-layout widgets.  Provenance recorded so the
+            compiled cost kernel can map box nodes back to decisions.
     """
 
     widget: str
@@ -58,6 +64,7 @@ class WidgetNode:
     domain: Optional[ChoiceDomain] = None
     children: Tuple["WidgetNode", ...] = ()
     title: str = ""
+    orientation_path: Optional[Path] = None
 
     @property
     def wtype(self) -> WidgetType:
@@ -176,7 +183,7 @@ def derive_widget_tree(tree: DTNode, chooser: Chooser) -> WidgetNode:
     if len(widgets) == 1:
         return widgets[0]
     orientation = chooser.choose_orientation((), len(widgets))
-    return WidgetNode(widget=orientation, children=tuple(widgets))
+    return WidgetNode(widget=orientation, children=tuple(widgets), orientation_path=())
 
 
 def _build(
@@ -196,6 +203,7 @@ def _build(
                     widget=orientation,
                     children=tuple(collected),
                     title=_box_title(node),
+                    orientation_path=path,
                 )
             ]
         return collected
@@ -212,7 +220,11 @@ def _build(
                     page = inner[0]
                 else:
                     orientation = chooser.choose_orientation(path + (i,), len(inner))
-                    page = WidgetNode(widget=orientation, children=tuple(inner))
+                    page = WidgetNode(
+                        widget=orientation,
+                        children=tuple(inner),
+                        orientation_path=path + (i,),
+                    )
                 pages.append(
                     WidgetNode(
                         widget="vertical",
@@ -262,6 +274,7 @@ def _build(
                 widget=orientation,
                 children=(toggle,) + tuple(body),
                 title=_box_title(node),
+                orientation_path=path,
             )
         ]
     if node.kind == MULTI:
@@ -355,6 +368,254 @@ def decision_space(tree: DTNode) -> DecisionSpace:
     )
 
 
+# -- the decision schema (compiled derivation) -----------------------------------
+
+
+@dataclass(frozen=True)
+class WidgetDecision:
+    """One free widget choice: which ``(name, size_class)`` at ``path``."""
+
+    path: Path
+    candidates: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class OrientationDecision:
+    """One free layout choice: box orientation at ``path``."""
+
+    path: Path
+    num_children: int
+
+
+Decision = Union[WidgetDecision, OrientationDecision]
+
+
+@dataclass(frozen=True)
+class DecisionDelta:
+    """One decision change between consecutive candidate widget trees.
+
+    Emitted by :func:`enumerate_decision_vectors` (and the ``_with_deltas``
+    tree enumerator) so a compiled evaluator can patch only the widgets a
+    single choice change touched instead of re-scoring the whole tree.
+    """
+
+    index: int
+    path: Path
+    kind: str  # "widget" | "orientation"
+    value: object  # (name, size_class) for widgets, orientation name else
+
+
+class SchemaChooser:
+    """Greedy decisions that record the *interleaved* decision sequence.
+
+    Unlike :class:`RecordingChooser` (which keeps widget and orientation
+    points in separate containers), this preserves the exact derivation
+    call order — required to replay :class:`RandomChooser`'s RNG
+    consumption decision-for-decision.
+    """
+
+    def __init__(self) -> None:
+        self.decisions: List[Decision] = []
+
+    def choose_widget(self, path, domain, candidates):
+        self.decisions.append(
+            WidgetDecision(path=path, candidates=tuple(c.name for c in candidates))
+        )
+        return (candidates[0].name, "M")
+
+    def choose_orientation(self, path, num_children):
+        self.decisions.append(
+            OrientationDecision(path=path, num_children=num_children)
+        )
+        return "vertical"
+
+
+@dataclass(frozen=True)
+class DecisionSchema:
+    """All free decisions of a difftree's derivation, in derivation order.
+
+    A *decision vector* is a list parallel to :attr:`decisions`:
+    ``(name, size_class)`` tuples at widget positions and orientation
+    names at orientation positions.  The schema is the compile-once
+    artifact the cost kernel scores vectors against without ever
+    materializing the intermediate widget trees.
+    """
+
+    decisions: Tuple[Decision, ...]
+
+    @cached_property
+    def widget_indices(self) -> Tuple[int, ...]:
+        """Widget-decision positions, sorted by choice path.
+
+        This is the canonical optimizer visit order (the outer loops of
+        the legacy enumerator and of coordinate descent) — keep every
+        consumer on this single definition so candidate orders and
+        tie-breaks never drift apart.
+        """
+        return tuple(
+            sorted(
+                (
+                    i
+                    for i, d in enumerate(self.decisions)
+                    if isinstance(d, WidgetDecision)
+                ),
+                key=lambda i: self.decisions[i].path,
+            )
+        )
+
+    @cached_property
+    def orientation_indices(self) -> Tuple[int, ...]:
+        """Orientation-decision positions, in derivation order."""
+        return tuple(
+            i
+            for i, d in enumerate(self.decisions)
+            if isinstance(d, OrientationDecision)
+        )
+
+    @cached_property
+    def enumeration_indices(self) -> Tuple[int, ...]:
+        """Digit order of the legacy tree enumeration (rightmost fastest).
+
+        Widget decisions sorted by path come first, then orientation
+        decisions in derivation order — matching the loop nesting of the
+        original recursive enumerator so winners and tie-breaks agree.
+        """
+        return self.widget_indices + self.orientation_indices
+
+    @property
+    def num_assignments(self) -> int:
+        total = 1
+        for decision in self.decisions:
+            if isinstance(decision, WidgetDecision):
+                total *= len(decision.candidates) * len(SIZE_CLASSES)
+            else:
+                total *= len(ORIENTATIONS)
+        return total
+
+    def options_for(self, index: int) -> Tuple[object, ...]:
+        """All values of one decision, in legacy enumeration order."""
+        decision = self.decisions[index]
+        if isinstance(decision, WidgetDecision):
+            return tuple(
+                (name, size_class)
+                for name in decision.candidates
+                for size_class in SIZE_CLASSES
+            )
+        return ORIENTATIONS
+
+    def greedy_vector(self) -> List[object]:
+        """The decisions :class:`GreedyChooser` would make."""
+        return [
+            (d.candidates[0], "M") if isinstance(d, WidgetDecision) else "vertical"
+            for d in self.decisions
+        ]
+
+    def random_vector(self, rng: random.Random) -> List[object]:
+        """The decisions :class:`RandomChooser` would make.
+
+        Consumes ``rng`` exactly like a :class:`RandomChooser`-driven
+        derivation (same calls, same order), so sampling through the
+        kernel reproduces legacy sampled evaluation bit-for-bit.
+        """
+        vector: List[object] = []
+        for decision in self.decisions:
+            if isinstance(decision, WidgetDecision):
+                name = rng.choice(decision.candidates)
+                vector.append((name, rng.choice(SIZE_CLASSES)))
+            else:
+                vector.append(rng.choice(ORIENTATIONS))
+        return vector
+
+    def tables(
+        self, vector: Sequence[object]
+    ) -> Tuple[Dict[Path, Tuple[str, str]], Dict[Path, str]]:
+        """Split a decision vector into :class:`ReplayChooser` tables."""
+        widgets: Dict[Path, Tuple[str, str]] = {}
+        orientations: Dict[Path, str] = {}
+        for decision, value in zip(self.decisions, vector):
+            if isinstance(decision, WidgetDecision):
+                widgets[decision.path] = value  # type: ignore[assignment]
+            else:
+                orientations[decision.path] = value  # type: ignore[assignment]
+        return widgets, orientations
+
+    def delta(self, index: int, value: object) -> DecisionDelta:
+        decision = self.decisions[index]
+        kind = "widget" if isinstance(decision, WidgetDecision) else "orientation"
+        return DecisionDelta(index=index, path=decision.path, kind=kind, value=value)
+
+
+def decision_schema(tree: DTNode) -> Tuple[WidgetNode, DecisionSchema]:
+    """Record a difftree's decision schema (and its greedy skeleton tree).
+
+    The skeleton is the greedy derivation: it fixes the topology every
+    candidate of the decision space shares (decisions only swap widget
+    types/sizes and box orientations; they never change the tree shape).
+    """
+    chooser = SchemaChooser()
+    skeleton = derive_widget_tree(tree, chooser)
+    return skeleton, DecisionSchema(decisions=tuple(chooser.decisions))
+
+
+def enumerate_decision_vectors(
+    schema: DecisionSchema, cap: int = 5000
+) -> Iterator[Tuple[List[object], Optional[Tuple[DecisionDelta, ...]]]]:
+    """Yield decision vectors over the full product, with change deltas.
+
+    Candidates appear in exactly the legacy :func:`enumerate_widget_trees`
+    order.  The first yield carries ``None`` deltas (a full assignment);
+    every later yield carries the decisions that changed since the
+    previous candidate (usually one — odometer rollovers change a few).
+    The yielded vector is reused in place: snapshot it before storing.
+    """
+    order = schema.enumeration_indices
+    options = [schema.options_for(i) for i in order]
+    vector: List[object] = schema.greedy_vector()
+    for pos, opts in zip(order, options):
+        vector[pos] = opts[0]
+    produced = 0
+    if produced >= cap:
+        return
+    yield vector, None
+    produced += 1
+    digits = [0] * len(order)
+    while produced < cap:
+        changed: List[int] = []
+        i = len(order) - 1
+        while i >= 0:
+            digits[i] += 1
+            changed.append(i)
+            if digits[i] < len(options[i]):
+                break
+            digits[i] = 0
+            i -= 1
+        else:
+            return  # every digit rolled over: enumeration complete
+        deltas = []
+        for j in sorted(changed):
+            pos = order[j]
+            value = options[j][digits[j]]
+            vector[pos] = value
+            deltas.append(schema.delta(pos, value))
+        yield vector, tuple(deltas)
+        produced += 1
+
+
+def enumerate_widget_trees_with_deltas(
+    tree: DTNode, cap: int = 5000
+) -> Iterator[Tuple[WidgetNode, Optional[Tuple[DecisionDelta, ...]]]]:
+    """Yield ``(widget_tree, deltas)`` over the decision product.
+
+    The deltas describe what changed relative to the previously yielded
+    tree (``None`` for the first), letting delta-aware evaluators patch
+    instead of recompute; plain consumers can ignore them.
+    """
+    _, schema = decision_schema(tree)
+    for vector, deltas in enumerate_decision_vectors(schema, cap=cap):
+        widgets, orientations = schema.tables(vector)
+        yield derive_widget_tree(tree, ReplayChooser(widgets, orientations)), deltas
+
+
 def enumerate_widget_trees(tree: DTNode, cap: int = 5000) -> Iterator[WidgetNode]:
     """Yield widget trees over the full decision product, up to ``cap``.
 
@@ -362,44 +623,5 @@ def enumerate_widget_trees(tree: DTNode, cap: int = 5000) -> Iterator[WidgetNode
     guards against pathological products (callers fall back to
     coordinate descent via the search layer when the cap is hit).
     """
-    space = decision_space(tree)
-    paths = sorted(space.widget_options)
-    produced = 0
-
-    def rec(index: int, table: Dict[Path, Tuple[str, str]]) -> Iterator[WidgetNode]:
-        nonlocal produced
-        if produced >= cap:
-            return
-        if index == len(paths):
-            yield from _orient(table, 0, {})
-            return
-        path = paths[index]
-        for name in space.widget_options[path]:
-            for size_class in SIZE_CLASSES:
-                table[path] = (name, size_class)
-                yield from rec(index + 1, table)
-                if produced >= cap:
-                    return
-        table.pop(path, None)
-
-    def _orient(
-        table: Dict[Path, Tuple[str, str]],
-        oindex: int,
-        orientations: Dict[Path, str],
-    ) -> Iterator[WidgetNode]:
-        nonlocal produced
-        if produced >= cap:
-            return
-        if oindex == len(space.orientation_points):
-            produced += 1
-            yield derive_widget_tree(tree, ReplayChooser(dict(table), dict(orientations)))
-            return
-        point = space.orientation_points[oindex]
-        for orientation in ORIENTATIONS:
-            orientations[point] = orientation
-            yield from _orient(table, oindex + 1, orientations)
-            if produced >= cap:
-                return
-        orientations.pop(point, None)
-
-    yield from rec(0, {})
+    for root, _ in enumerate_widget_trees_with_deltas(tree, cap=cap):
+        yield root

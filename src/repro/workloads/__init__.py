@@ -1,4 +1,5 @@
-"""Evaluation workloads: the paper's SDSS log and synthetic generators."""
+"""Evaluation workloads: the paper's SDSS log, TPC-H-style analytic
+sessions, and synthetic generators."""
 
 from .sdss import LISTING1_SQL, listing1_queries, listing1_sql, sdss_session_sql
 from .synthetic import (
@@ -8,12 +9,24 @@ from .synthetic import (
     projection_cycle_log,
     value_drift_log,
 )
+from .tpch import (
+    PRICING_SUMMARY_SQL,
+    pricing_summary_queries,
+    pricing_summary_sql,
+    tpch_session_queries,
+    tpch_session_sql,
+)
 
 __all__ = [
     "LISTING1_SQL",
     "listing1_sql",
     "listing1_queries",
     "sdss_session_sql",
+    "PRICING_SUMMARY_SQL",
+    "pricing_summary_sql",
+    "pricing_summary_queries",
+    "tpch_session_sql",
+    "tpch_session_queries",
     "value_drift_log",
     "clause_toggle_log",
     "predicate_add_log",

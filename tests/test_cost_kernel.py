@@ -1,0 +1,341 @@
+"""Differential parity tests: compiled kernel vs reference evaluation.
+
+The kernel's contract (see ``repro/cost/kernel.py``) is *exact* parity:
+for any widget tree it adopts — including states reached through long
+chains of single-decision deltas — every ``CostBreakdown`` field must
+equal the walk-everything reference implementation bit for bit.  These
+tests enforce that on randomized difftree / widget-tree / workload
+triples drawn from the SDSS, TPC-H-style, and synthetic generators.
+"""
+
+import random
+
+import pytest
+
+from repro.cost import (
+    BoundedLRU,
+    CompiledSequence,
+    CostModel,
+    coordinate_descent,
+    exhaustive_evaluation,
+    sampled_evaluation,
+    worst_sampled_evaluation,
+)
+from repro.difftree import CompiledChanges, changed_choices, initial_difftree
+from repro.layout import Screen
+from repro.rules import default_engine
+from repro.sqlast import parse
+from repro.widgets import (
+    GreedyChooser,
+    RandomChooser,
+    WidgetNode,
+    derive_widget_tree,
+    enumerate_widget_trees,
+    enumerate_widget_trees_with_deltas,
+)
+from repro.workloads import (
+    listing1_sql,
+    mixed_session_log,
+    sdss_session_sql,
+    tpch_session_sql,
+)
+
+
+def random_states(sql_log, seed, steps=6, count=3):
+    """Difftrees reached by random rewrite walks from the initial state."""
+    asts = [parse(q) if isinstance(q, str) else q for q in sql_log]
+    engine = default_engine()
+    rng = random.Random(seed)
+    states = [initial_difftree(asts)]
+    for _ in range(count - 1):
+        state = states[0]
+        for _ in range(steps):
+            move = engine.random_move(state, rng)
+            if move is None:
+                break
+            state = engine.apply(state, move)
+        states.append(state)
+    return asts, states
+
+
+WORKLOADS = {
+    "sdss-listing1": listing1_sql(1, 5),
+    "sdss-session": sdss_session_sql(8, seed=3),
+    "tpch-session": tpch_session_sql(8, seed=5),
+    "synthetic-mixed": mixed_session_log(8, seed=7),
+}
+
+
+def assert_identical(kernel_bd, reference_bd, context=""):
+    assert kernel_bd == reference_bd, (
+        f"kernel/reference divergence {context}:\n"
+        f"  kernel:    {kernel_bd}\n"
+        f"  reference: {reference_bd}"
+    )
+
+
+class TestFullEvaluationParity:
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_randomized_triples(self, workload):
+        """model.evaluate == evaluate_reference on random widget trees."""
+        asts, states = random_states(WORKLOADS[workload], seed=11)
+        model = CostModel(asts, Screen.wide())
+        rng = random.Random(13)
+        for state in states:
+            for trial in range(8):
+                chooser = GreedyChooser() if trial == 0 else RandomChooser(rng)
+                root = derive_widget_tree(state, chooser)
+                assert_identical(
+                    model.evaluate(state, root),
+                    model.evaluate_reference(state, root),
+                    context=f"{workload} trial {trial}",
+                )
+        # Every derived tree must go through the kernel, not the fallback.
+        assert model.kernel_stats.fallback_evals == 0
+        assert model.kernel_stats.adopted_evals > 0
+
+    def test_narrow_screen_infeasible_parity(self):
+        """Overflow fields and the infeasible rank agree too."""
+        asts, states = random_states(WORKLOADS["sdss-session"], seed=17)
+        model = CostModel(asts, Screen(120, 90))
+        rng = random.Random(19)
+        for state in states:
+            root = derive_widget_tree(state, RandomChooser(rng))
+            kernel_bd = model.evaluate(state, root)
+            reference_bd = model.evaluate_reference(state, root)
+            assert_identical(kernel_bd, reference_bd)
+            assert not kernel_bd.feasible
+            assert kernel_bd.rank == reference_bd.rank
+
+    def test_hand_built_tree_falls_back(self):
+        """Foreign widget trees bypass the kernel but still evaluate."""
+        asts, states = random_states(WORKLOADS["sdss-listing1"], seed=23)
+        model = CostModel(asts, Screen.wide())
+        foreign = WidgetNode(widget="label", title="not derived")
+        breakdown = model.evaluate(states[0], foreign)
+        assert_identical(breakdown, model.evaluate_reference(states[0], foreign))
+        assert model.kernel_stats.fallback_evals == 1
+
+
+class TestDeltaReevaluationParity:
+    """reevaluate(delta) must equal full evaluation — the core invariant."""
+
+    @pytest.mark.parametrize("workload", ["sdss-session", "tpch-session"])
+    def test_enumeration_delta_chain(self, workload):
+        """Every candidate of a delta-patched enumeration matches the
+        reference evaluation of the corresponding real widget tree."""
+        asts, states = random_states(WORKLOADS[workload], seed=29)
+        model = CostModel(asts, Screen.wide())
+        state = states[1]
+        kernel = model.kernel_for(state)
+        cap = 300
+        reference = [
+            model.evaluate_reference(state, root)
+            for root in enumerate_widget_trees(state, cap=cap)
+        ]
+        compiled = [bd for _, bd in kernel.iter_enumeration(cap=cap)]
+        assert len(reference) == len(compiled)
+        assert len(compiled) > 1
+        for i, (kernel_bd, reference_bd) in enumerate(zip(compiled, reference)):
+            assert_identical(kernel_bd, reference_bd, context=f"candidate {i}")
+        # The chain really ran on deltas, not repeated full loads.
+        assert model.kernel_stats.delta_evals >= len(compiled) - 1
+
+    def test_random_delta_chain(self):
+        """Random walks through decision space: patch vs from-scratch."""
+        asts, states = random_states(WORKLOADS["tpch-session"], seed=31)
+        model = CostModel(asts, Screen.wide())
+        state = states[1]
+        kernel = model.kernel_for(state)
+        schema = kernel.schema
+        if not schema.decisions:
+            pytest.skip("state has no free decisions")
+        rng = random.Random(37)
+        vector = schema.greedy_vector()
+        kernel.set_vector(vector)
+        for step in range(60):
+            index = rng.randrange(len(schema.decisions))
+            options = [
+                value
+                for value in schema.options_for(index)
+                if value != vector[index]
+            ]
+            if not options:
+                continue
+            value = rng.choice(options)
+            vector[index] = value
+            kernel.apply_delta(index, value)
+            patched = kernel.breakdown()
+            reference_bd = model.evaluate_reference(
+                state, kernel.materialize(vector)
+            )
+            assert_identical(patched, reference_bd, context=f"step {step}")
+
+    def test_tree_enumerator_deltas_line_up(self):
+        """enumerate_widget_trees_with_deltas deltas describe the change."""
+        asts, states = random_states(WORKLOADS["sdss-listing1"], seed=41)
+        state = states[1]
+        previous = None
+        for root, deltas in enumerate_widget_trees_with_deltas(state, cap=50):
+            if previous is None:
+                assert deltas is None
+            else:
+                assert deltas  # consecutive candidates differ
+            previous = root
+
+
+class TestOptimizerEquivalence:
+    """Kernel-backed optimizers return what the legacy loops returned."""
+
+    def legacy_sampled(self, model, tree, k, rng, include_greedy=True):
+        samples = []
+        if include_greedy:
+            samples.append(derive_widget_tree(tree, GreedyChooser()))
+            k = max(0, k - 1)
+        for _ in range(k):
+            samples.append(derive_widget_tree(tree, RandomChooser(rng)))
+        best = None
+        for root in samples:
+            breakdown = model.evaluate_reference(tree, root)
+            if best is None or breakdown.rank < best[1].rank:
+                best = (root, breakdown)
+        return best
+
+    def test_sampled_evaluation_matches_legacy(self):
+        asts, states = random_states(WORKLOADS["sdss-session"], seed=43)
+        model = CostModel(asts, Screen.wide())
+        for state in states:
+            kernel_result = sampled_evaluation(
+                model, state, k=6, rng=random.Random(5)
+            )
+            legacy_root, legacy_bd = self.legacy_sampled(
+                model, state, k=6, rng=random.Random(5)
+            )
+            assert kernel_result.breakdown == legacy_bd
+            assert kernel_result.widget_tree == legacy_root
+
+    def test_exhaustive_matches_legacy_enumeration(self):
+        asts, states = random_states(WORKLOADS["tpch-session"], seed=47)
+        model = CostModel(asts, Screen.wide())
+        # Pick the state with the smallest full decision product so the
+        # exhaustive path (not the coordinate-descent fallback) runs.
+        state = min(
+            states, key=lambda s: model.kernel_for(s).schema.num_assignments
+        )
+        cap = model.kernel_for(state).schema.num_assignments
+        assert cap <= 5000, "workload produced no enumerable state"
+        result = exhaustive_evaluation(model, state, cap=cap)
+        best = None
+        for root in enumerate_widget_trees(state, cap=cap):
+            breakdown = model.evaluate_reference(state, root)
+            if best is None or breakdown.rank < best[1].rank:
+                best = (root, breakdown)
+        assert result.breakdown == best[1]
+        assert result.widget_tree == best[0]
+
+    def test_coordinate_descent_and_worst_sampled_are_consistent(self):
+        asts, states = random_states(WORKLOADS["sdss-session"], seed=53)
+        model = CostModel(asts, Screen.wide())
+        state = states[1]
+        descended = coordinate_descent(model, state)
+        assert_identical(
+            descended.breakdown,
+            model.evaluate_reference(state, descended.widget_tree),
+        )
+        worst = worst_sampled_evaluation(model, state, k=8, rng=random.Random(9))
+        assert_identical(
+            worst.breakdown,
+            model.evaluate_reference(state, worst.widget_tree),
+        )
+
+
+class TestCompiledSequence:
+    def test_extension_equals_fresh_compile(self):
+        """extend() over appended queries == compiling the full log."""
+        sql = tpch_session_sql(10, seed=61)
+        asts = [parse(q) for q in sql]
+        tree = initial_difftree(asts)  # expresses every query in the log
+        fresh = CompiledSequence.compile(tree, asts)
+        extended = CompiledSequence.compile(tree, asts[:6]).extend(tree, asts[6:])
+        assert fresh.ok and extended.ok
+        assert list(fresh.queries) == list(extended.queries)
+        assert fresh.assignments == extended.assignments
+        assert fresh.changes.pair_paths == extended.changes.pair_paths
+        assert fresh.changes.pair_ids == extended.changes.pair_ids
+        assert fresh.changes.paths == extended.changes.paths
+
+    def test_interning_preserves_sorted_path_order(self):
+        sql = sdss_session_sql(6, seed=67)
+        asts = [parse(q) for q in sql]
+        tree = initial_difftree(asts)
+        sequence = CompiledSequence.compile(tree, asts)
+        changes = sequence.changes
+        assert list(changes.paths) == sorted(changes.paths)
+        for pair_ids, pair_paths in zip(changes.pair_ids, changes.pair_paths):
+            assert list(pair_ids) == sorted(pair_ids)
+            assert [changes.paths[i] for i in pair_ids] == list(pair_paths)
+
+    def test_pair_sets_match_changed_choices(self):
+        sql = listing1_sql(1, 5)
+        asts = [parse(q) for q in sql]
+        tree = initial_difftree(asts)
+        sequence = CompiledSequence.compile(tree, asts)
+        for pair_paths, (a, b) in zip(
+            sequence.changes.pair_paths,
+            zip(sequence.assignments, sequence.assignments[1:]),
+        ):
+            assert list(pair_paths) == changed_choices(a, b)
+
+    def test_model_extends_carried_sequences(self):
+        """adopt_sequences lets a grown model diff only the new pairs."""
+        sql = sdss_session_sql(9, seed=71)
+        asts = [parse(q) for q in sql]
+        # A tree expressing the *full* log (the serve layer's extended
+        # best state): the old model saw only the first six queries.
+        tree = initial_difftree(asts)
+        old_model = CostModel(asts[:6], Screen.wide())
+        carried = {tree.canonical_key: old_model.compiled_sequence(tree)}
+
+        new_model = CostModel(asts, Screen.wide())
+        new_model.adopt_sequences(carried)
+        kernel = new_model.kernel_for(tree)
+        assert new_model.kernel_stats.sequences_extended == 1
+        assert kernel.sequence.ok
+        fresh_model = CostModel(asts, Screen.wide())
+        fresh = fresh_model.kernel_for(tree).sequence
+        assert kernel.sequence.assignments == fresh.assignments
+        assert kernel.sequence.changes.pair_ids == fresh.changes.pair_ids
+
+
+class TestBoundedLRU:
+    def test_evicts_oldest_one_at_a_time(self):
+        lru = BoundedLRU(3)
+        for key in "abc":
+            lru[key] = key
+        lru["d"] = "d"
+        assert "a" not in lru and len(lru) == 3
+        assert lru.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        lru = BoundedLRU(2)
+        lru["a"] = 1
+        lru["b"] = 2
+        assert lru.get("a") == 1  # refresh: now b is oldest
+        lru["c"] = 3
+        assert "b" not in lru and "a" in lru
+
+    def test_state_evaluator_cache_is_bounded(self):
+        from repro.search.common import StateEvaluator
+
+        asts = [parse(q) for q in listing1_sql(1, 3)]
+        model = CostModel(asts, Screen.wide())
+        evaluator = StateEvaluator(model)
+        evaluator._cache.capacity = 2  # shrink for the test
+        _, states = random_states(listing1_sql(1, 3), seed=73, count=3)
+        seen = set()
+        for state in states:
+            evaluator.evaluate(state)
+            seen.add(state.canonical_key)
+        assert len(evaluator._cache) <= 2
+        # The incumbent is still tracked even if its entry was evicted.
+        assert evaluator.best is not None
