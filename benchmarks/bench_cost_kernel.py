@@ -51,12 +51,13 @@ from repro.widgets import (
     derive_widget_tree,
     enumerate_widget_trees,
 )
-from repro.workloads import sdss_session_sql, tpch_session_sql
+from repro.registry import get_workload, workload_names
+import repro.workloads  # noqa: F401  (registers the built-in workloads)
 
-WORKLOADS = {
-    "sdss": sdss_session_sql,
-    "tpch": tpch_session_sql,
-}
+
+def growing_workloads() -> Dict[str, object]:
+    """Registered growing-log generators by name (sdss, tpch, ...)."""
+    return {name: get_workload(name) for name in workload_names(tag="growing")}
 
 
 # -- the pre-kernel evaluation pipeline (reference semantics) --------------------
@@ -251,7 +252,7 @@ def mcts_pass(
 def run(queries: int, evals: int, iterations: int, final_cap: int, seed: int) -> Dict:
     screen = Screen.wide()
     workloads: Dict[str, Dict] = {}
-    for name, generator in WORKLOADS.items():
+    for name, generator in growing_workloads().items():
         asts = [parse(q) for q in generator(queries, seed=0)]
         workloads[name] = {
             "throughput": throughput_pass(asts, screen, evals),

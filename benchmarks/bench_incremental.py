@@ -1,10 +1,15 @@
 """BENCH-INC: incremental warm-started serving vs cold restarts.
 
-The serving claim (ISSUE 1 / `repro.serve`): on a growing query log,
-extending the previous difftree and warm-starting MCTS beats restarting
-the search from scratch at the same per-step time budget, and an exact
-repeat of a served log is answered from the interface cache without any
-search at all.
+The serving claim (ISSUE 1 / `repro.serve`, ISSUE 3 / `repro.engine`):
+on a growing query log, extending the previous difftree and
+warm-starting MCTS beats restarting the search from scratch at the same
+per-step time budget, and an exact repeat of a served log is answered
+from the interface cache without any search at all.
+
+Both sides run through the session-oriented :class:`repro.engine.Engine`
+API: the warm side is one long-lived session (`session.append()` +
+`session.interface()`), the cold side a fresh engine per step (empty
+cache, no warm-start state).
 
 Unlike the other benches this is a standalone script (it is also the CI
 smoke target), runnable without pytest:
@@ -26,14 +31,14 @@ import sys
 import time
 from typing import List
 
-from repro import GenerationConfig, IncrementalGenerator, generate_interface
-from repro.workloads import sdss_session_sql, tpch_session_sql
+from repro import Engine, GenerationConfig
+from repro.engine import get_workload, workload_names
+import repro.workloads  # noqa: F401  (registers the built-in workloads)
 
-#: Growing-log session generators by scenario name.
-WORKLOADS = {
-    "sdss": sdss_session_sql,
-    "tpch": tpch_session_sql,
-}
+
+def growing_workloads() -> tuple:
+    """Registered growing-log session generators (sdss, tpch, ...)."""
+    return workload_names(tag="growing")
 
 
 def run(
@@ -44,22 +49,25 @@ def run(
     workload: str = "sdss",
 ) -> dict:
     """Grow the log chunk-by-chunk; generate warm and cold at each step."""
-    log = WORKLOADS[workload](num_queries, seed=0)
+    log = get_workload(workload)(num_queries, seed=0)
     config = GenerationConfig(time_budget_s=budget_s, seed=seed)
-    service = IncrementalGenerator(config=config)
+    engine = Engine(config=config)
+    session = engine.session("bench")
 
     steps: List[dict] = []
     warm = cold = None
     for start in range(0, num_queries, chunk):
         prefix = log[: start + chunk]
-        service.append(*log[start : start + chunk])
+        session.append(*log[start : start + chunk])
 
         t0 = time.perf_counter()
-        warm = service.generate()
+        warm = session.interface()
         warm_s = time.perf_counter() - t0
 
+        # Cold restart: a fresh engine has no cache entries and no
+        # warm-start state to carry, so this is a from-scratch search.
         t0 = time.perf_counter()
-        cold = generate_interface(prefix, config=config)
+        cold = Engine(config=config).generate(prefix)
         cold_s = time.perf_counter() - t0
 
         steps.append(
@@ -67,6 +75,7 @@ def run(
                 "log_size": len(prefix),
                 "warm_cost": warm.cost,
                 "warm_seconds": round(warm_s, 3),
+                "warm_source": warm.source,
                 "warm_iterations": warm.search.stats.iterations,
                 "warm_states_seeded": warm.search.stats.warm_states_seeded,
                 "cold_cost": cold.cost,
@@ -77,14 +86,19 @@ def run(
 
     # Exact repeat of the final log: must come from the cache, running
     # zero additional searches.
-    searches_before = service.searches_run
+    searches_before = engine.searches_run
     t0 = time.perf_counter()
-    repeat = service.generate()
+    repeat = session.interface()
     repeat_s = time.perf_counter() - t0
-    cache_hit = repeat is warm and service.searches_run == searches_before
+    cache_hit = (
+        repeat.source == "cache"
+        and repeat.result is warm.result
+        and engine.searches_run == searches_before
+    )
 
     return {
         "bench": "incremental",
+        "api": "engine",
         "workload": workload,
         "queries": num_queries,
         "chunk": chunk,
@@ -96,15 +110,11 @@ def run(
         "warm_beats_cold": warm.cost <= cold.cost + 1e-9,
         "cache_repeat": {
             "hit": cache_hit,
+            "source": repeat.source,
             "seconds": round(repeat_s, 6),
-            "new_searches": service.searches_run - searches_before,
+            "new_searches": engine.searches_run - searches_before,
         },
-        "cache_stats": {
-            "hits": service.cache.stats.hits,
-            "misses": service.cache.stats.misses,
-            "evictions": service.cache.stats.evictions,
-            "prefix_hits": service.cache.stats.prefix_hits,
-        },
+        "cache_stats": engine.cache_stats,
     }
 
 
@@ -116,7 +126,7 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0, help="search RNG seed")
     parser.add_argument(
         "--workload",
-        choices=sorted(WORKLOADS),
+        choices=growing_workloads(),
         default="sdss",
         help="growing-log scenario (sdss range-drift or tpch analytic session)",
     )
@@ -135,7 +145,7 @@ def main(argv=None) -> int:
     header = f"{'log':>5}  {'warm cost':>10}  {'warm s':>7}  {'cold cost':>10}  {'cold s':>7}"
     print(
         f"\n=== BENCH-INC — warm-started incremental vs cold restart "
-        f"[{args.workload}] ==="
+        f"[{args.workload}, engine API] ==="
     )
     print(header)
     print("-" * len(header))

@@ -1,15 +1,16 @@
 """Quickstart: generate an interface for a tiny query log and use it.
 
-This is the paper's Figure 1→Figure 2 pipeline in ~30 lines: three
-queries from an analysis session go in, an interactive interface comes
-out, and we then drive that interface programmatically — each widget
-interaction rewrites the current query, re-executes it, and refreshes
-the (ASCII) visualization.
+This is the paper's Figure 1→Figure 2 pipeline in ~30 lines, through
+the session-oriented Engine API: three queries from an analysis session
+go in, an interactive interface comes out (as a structured
+`GenerationReport`), and we then drive that interface programmatically —
+each widget interaction rewrites the current query, re-executes it, and
+refreshes the (ASCII) visualization.
 
-Run:  python examples/quickstart.py
+Run:  PYTHONPATH=src python examples/quickstart.py
 """
 
-from repro import GenerationConfig, Screen, generate_interface
+from repro import Engine, GenerationConfig, Screen
 from repro.database import Database, Table
 from repro.vis import render_chart
 
@@ -26,13 +27,17 @@ def main() -> None:
     for i, sql in enumerate(LOG, 1):
         print(f"  q{i}: {sql}")
 
-    result = generate_interface(
-        LOG,
+    engine = Engine(
         screen=Screen.wide(),
         config=GenerationConfig(time_budget_s=3.0, seed=7),
     )
-    print(f"\nGenerated interface (cost {result.cost:.2f}):\n")
-    print(result.ascii_art)
+    report = engine.generate(LOG)
+    print(f"\nGenerated interface (cost {report.cost:.2f}, source {report.source!r}):\n")
+    print(report.ascii_art)
+
+    # The same log again is a cache hit — no second search.
+    again = engine.generate(LOG)
+    assert again.source == "cache" and again.result is report.result
 
     # Attach a database and interact with the interface.
     db = Database(
@@ -47,7 +52,7 @@ def main() -> None:
             )
         ]
     )
-    session = result.session(db)
+    session = report.result.session(db)
     print(f"\nCurrent query: {session.current_sql}")
     print(render_chart(session.chart(), session.run()))
 

@@ -1,54 +1,49 @@
 """Serving a growing query log with incremental regeneration.
 
-Simulates an analyst session streaming queries in: after each batch of
-appends the service regenerates the interface, warm-starting from the
-previous run instead of searching from scratch, and serving exact
-repeats straight from the cache.
+Simulates an analyst session streaming queries in, through the Engine
+API: after each batch of appends `session.interface()` regenerates the
+interface, warm-starting from the previous run instead of searching
+from scratch, and serving exact repeats straight from the cache — the
+report's provenance says which happened.
 
 Run:  PYTHONPATH=src python examples/streaming_service.py
 """
 
 from __future__ import annotations
 
-import time
-
-from repro import GenerationConfig, IncrementalGenerator
-from repro.workloads import sdss_session_sql
+from repro import Engine, GenerationConfig
 
 CHUNK = 5
-LOG = sdss_session_sql(20, seed=0)
 
 
 def main() -> None:
-    service = IncrementalGenerator(
-        config=GenerationConfig(time_budget_s=1.0, seed=0)
-    )
+    engine = Engine(config=GenerationConfig(time_budget_s=1.0, seed=0))
+    log = engine.workload("sdss", 20, seed=0)
 
-    result = None
-    for start in range(0, len(LOG), CHUNK):
-        batch = LOG[start : start + CHUNK]
-        service.append(*batch)
-        t0 = time.perf_counter()
-        result = service.generate()
-        elapsed = time.perf_counter() - t0
-        stats = result.search.stats
+    session = engine.session("analyst-42")
+    report = None
+    for start in range(0, len(log), CHUNK):
+        session.append(*log[start : start + CHUNK])
+        report = session.interface()
+        stats = report.search.stats
         print(
-            f"log={service.log_length():>2}  cost={result.cost:7.2f}  "
-            f"{elapsed:5.2f}s  warm-seeds={stats.warm_states_seeded}  "
+            f"log={session.log_length:>2}  cost={report.cost:7.2f}  "
+            f"{report.timings['total_s']:5.2f}s  source={report.source}  "
+            f"warm-seeds={stats.warm_states_seeded}  "
             f"iterations={stats.iterations}"
         )
 
     # An unchanged log is a pure cache hit: no search at all.
-    t0 = time.perf_counter()
-    repeat = service.generate()
+    repeat = session.interface()
     print(
-        f"repeat: served from cache in {(time.perf_counter() - t0) * 1000:.1f} ms "
-        f"(same object: {repeat is result}, "
-        f"cache stats: {service.cache.stats})"
+        f"repeat: source={repeat.source} in {repeat.timings['total_s'] * 1000:.1f} ms "
+        f"(same interface: {repeat.result is report.result}, "
+        f"cache stats: {engine.cache_stats})"
     )
 
+    print(f"\nHistory: {len(session.history())} reports for this session")
     print("\nFinal interface:\n")
-    print(result.ascii_art)
+    print(report.ascii_art)
 
 
 if __name__ == "__main__":

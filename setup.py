@@ -2,7 +2,7 @@ from setuptools import setup, find_packages
 
 setup(
     name="repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'Monte Carlo Tree Search for Generating "
         "Interactive Data Analysis Interfaces' (Chen & Wu, 2020)"

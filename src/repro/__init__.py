@@ -6,27 +6,26 @@ a hierarchical layout of widgets (dropdowns, sliders, buttons, toggles,
 tabs, adders) that can express every query in the log, selected by MCTS
 over *difftree* states under a usability cost model.
 
-Quick start::
+The primary entry point is the session-oriented :class:`Engine`
+(:mod:`repro.engine`)::
 
-    from repro import generate_interface, Screen
+    from repro import Engine
 
-    log = [
+    engine = Engine()
+    session = engine.session()
+    session.append(
         "select top 10 objid from stars where u between 0 and 30",
         "select top 100 objid from stars where u between 5 and 25",
-    ]
-    result = generate_interface(log, screen=Screen.wide())
-    print(result.ascii_art)
+    )
+    report = session.interface()      # cold search
+    print(report.ascii_art)
 
-For serving growing logs (incremental regeneration, caching, batch
-fan-out), see :mod:`repro.serve`::
+    session.append("select top 10 objid from galaxies where g between 1 and 9")
+    report = session.interface()      # warm-started incremental search
+    print(report.to_dict()["provenance"])
 
-    from repro import IncrementalGenerator
-
-    service = IncrementalGenerator()
-    service.append(*log)
-    print(service.generate().ascii_art)   # cold search
-    service.append("select top 10 objid from galaxies where g between 1 and 9")
-    print(service.generate().ascii_art)   # warm-started incremental search
+The one-shot :func:`generate_interface` and the :mod:`repro.serve`
+classes remain as stable shims over the same machinery.
 """
 
 from .core import (
@@ -35,6 +34,7 @@ from .core import (
     GenerationConfig,
     generate_interface,
 )
+from .engine import Engine, GenerationReport, LogSession
 from .layout import Screen
 from .serve import (
     IncrementalGenerator,
@@ -44,9 +44,12 @@ from .serve import (
     generate_interfaces_batch,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "Engine",
+    "LogSession",
+    "GenerationReport",
     "generate_interface",
     "GenerationConfig",
     "GeneratedInterface",

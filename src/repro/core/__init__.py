@@ -7,6 +7,7 @@ from .api import (
     as_mcts_config,
     generate_interface,
     prepare_search,
+    run_search,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "STRATEGIES",
     "as_mcts_config",
     "prepare_search",
+    "run_search",
 ]

@@ -9,20 +9,25 @@
     )
     print(result.ascii_art)
 
-For repeated generation over a growing log, see :mod:`repro.serve`.
+For repeated generation over a growing log — and for the structured
+:class:`~repro.engine.GenerationReport` envelope — see the session-
+oriented :class:`repro.engine.Engine`, which supersedes this module as
+the primary entry point.  ``generate_interface`` remains as a thin
+stable shim over the same strategy registry.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field, fields
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..cost import CostModel, CostWeights, EvaluatedInterface
 from ..database import Database
 from ..difftree import DTNode, as_asts, initial_difftree
 from ..interface import InterfaceSession, render_ascii, render_html
 from ..layout import Screen
-from ..rules import RuleEngine, default_engine
+from ..registry import register_strategy, strategy_names, strategy_spec
+from ..rules import DEFAULT_RULE_NAMES, RuleEngine, default_engine
 from ..search import (
     MCTSConfig,
     SearchResult,
@@ -39,8 +44,13 @@ from ..sqlast import Node
 class GenerationConfig:
     """End-to-end generation settings.
 
+    Invalid settings raise :class:`ValueError` at *construction* — a
+    negative budget or a misspelled strategy/rule name must not surface
+    minutes later from inside a search.
+
     Attributes:
-        strategy: search strategy (``"mcts"`` is the paper's).
+        strategy: search strategy (``"mcts"`` is the paper's); must be
+            registered (see :func:`repro.registry.register_strategy`).
         time_budget_s: wall-clock search budget (paper used ~60 s).
         k_assignments: widget-assignment samples per state reward.
         exploration_c: UCT exploration constant (MCTS only).
@@ -63,6 +73,37 @@ class GenerationConfig:
     weights: CostWeights = field(default_factory=CostWeights)
     exclude_rules: Sequence[str] = ()
     final_cap: int = 4000
+
+    def __post_init__(self) -> None:
+        if self.strategy not in strategy_names():
+            raise ValueError(
+                f"unknown strategy {self.strategy!r} "
+                f"(have: {', '.join(strategy_names())})"
+            )
+        if self.time_budget_s < 0:
+            raise ValueError(f"time_budget_s must be >= 0, got {self.time_budget_s}")
+        if self.k_assignments < 1:
+            raise ValueError(f"k_assignments must be >= 1, got {self.k_assignments}")
+        if self.max_walk_steps < 1:
+            raise ValueError(f"max_walk_steps must be >= 1, got {self.max_walk_steps}")
+        if self.max_iterations < 0:
+            raise ValueError(f"max_iterations must be >= 0, got {self.max_iterations}")
+        if self.exploration_c < 0:
+            raise ValueError(f"exploration_c must be >= 0, got {self.exploration_c}")
+        if self.final_cap < 1:
+            raise ValueError(f"final_cap must be >= 1, got {self.final_cap}")
+        unknown = set(self.exclude_rules) - set(DEFAULT_RULE_NAMES)
+        if unknown:
+            raise ValueError(
+                f"unknown exclude_rules names: {sorted(unknown)} "
+                f"(have: {', '.join(DEFAULT_RULE_NAMES)})"
+            )
+
+    def replace(self, **changes) -> "GenerationConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        current = {f.name: getattr(self, f.name) for f in fields(self)}
+        current.update(changes)
+        return GenerationConfig(**current)
 
 
 @dataclass
@@ -124,8 +165,9 @@ def prepare_search(
 ) -> Tuple[List[Node], Screen, CostModel, DTNode, RuleEngine]:
     """Build the shared search ingredients for a query log.
 
-    Used by :func:`generate_interface` and by :mod:`repro.serve`, which
-    drives the search itself (to warm-start and to keep the node table).
+    Used by :func:`generate_interface`, :class:`repro.engine.Engine`, and
+    :mod:`repro.serve`, which drives the search itself (to warm-start and
+    to keep the node table).
     """
     config = config or GenerationConfig()
     asts = as_asts(queries)
@@ -136,11 +178,19 @@ def prepare_search(
     return asts, screen, model, initial, engine
 
 
-def _require_cold(warm_states: Sequence[DTNode], strategy: str) -> None:
-    if warm_states:
-        raise ValueError(f"warm_states requires strategy 'mcts', not {strategy!r}")
+# -- registered strategies -----------------------------------------------------
+#
+# Each strategy declares its capabilities at registration; the dispatch in
+# run_search() enforces them, replacing the per-runner _require_cold checks.
 
 
+@register_strategy(
+    "mcts",
+    supports_warm_start=True,
+    needs_time_budget=True,
+    supports_iteration_cap=True,
+    description="the paper's MCTS over difftree states (warm-startable)",
+)
 def _run_mcts(model, initial, engine, config, warm_states):
     return mcts_search(
         model,
@@ -151,8 +201,12 @@ def _run_mcts(model, initial, engine, config, warm_states):
     )
 
 
+@register_strategy(
+    "random",
+    needs_time_budget=True,
+    description="random-restart walks baseline",
+)
 def _run_random(model, initial, engine, config, warm_states):
-    _require_cold(warm_states, "random")
     return random_search(
         model,
         initial,
@@ -165,8 +219,12 @@ def _run_random(model, initial, engine, config, warm_states):
     )
 
 
+@register_strategy(
+    "greedy",
+    needs_time_budget=True,
+    description="greedy hill-climbing baseline (forward rules only)",
+)
 def _run_greedy(model, initial, engine, config, warm_states):
-    _require_cold(warm_states, "greedy")
     return greedy_search(
         model,
         initial,
@@ -178,8 +236,12 @@ def _run_greedy(model, initial, engine, config, warm_states):
     )
 
 
+@register_strategy(
+    "beam",
+    needs_time_budget=True,
+    description="beam-search baseline",
+)
 def _run_beam(model, initial, engine, config, warm_states):
-    _require_cold(warm_states, "beam")
     return beam_search(
         model,
         initial,
@@ -191,8 +253,12 @@ def _run_beam(model, initial, engine, config, warm_states):
     )
 
 
+@register_strategy(
+    "exhaustive",
+    needs_time_budget=False,
+    description="exhaustive state enumeration (tiny logs only)",
+)
 def _run_exhaustive(model, initial, engine, config, warm_states):
-    _require_cold(warm_states, "exhaustive")
     return exhaustive_search(
         model,
         initial,
@@ -203,16 +269,49 @@ def _run_exhaustive(model, initial, engine, config, warm_states):
     )
 
 
-#: Strategy name -> runner(model, initial, engine, config, warm_states).
-_RUNNERS: Dict[str, Callable[..., SearchResult]] = {
-    "mcts": _run_mcts,
-    "random": _run_random,
-    "greedy": _run_greedy,
-    "beam": _run_beam,
-    "exhaustive": _run_exhaustive,
-}
+#: Registered strategy names (kept for back-compat; prefer
+#: :func:`repro.registry.strategy_names`, which reflects late
+#: registrations too).
+STRATEGIES = strategy_names()
 
-STRATEGIES = tuple(_RUNNERS)
+
+def run_search(
+    model: CostModel,
+    initial: DTNode,
+    engine: RuleEngine,
+    config: GenerationConfig,
+    warm_states: Sequence[DTNode] = (),
+) -> SearchResult:
+    """Dispatch one search through the strategy registry.
+
+    Enforces the strategy's declared capabilities: ``warm_states`` are
+    rejected unless the strategy ``supports_warm_start``, and strategies
+    that ``needs_time_budget`` require a positive wall-clock budget —
+    or, if they declare ``supports_iteration_cap``, a positive
+    ``max_iterations``.
+    """
+    spec = strategy_spec(config.strategy)
+    if warm_states and not spec.supports_warm_start:
+        raise ValueError(
+            f"strategy {spec.name!r} does not support warm starts "
+            f"(warm-start capable: "
+            f"{', '.join(n for n in strategy_names() if strategy_spec(n).supports_warm_start)})"
+        )
+    if spec.needs_time_budget and config.time_budget_s <= 0:
+        # Only strategies that actually consume max_iterations may use
+        # it as their sole stop condition; for the others a zero budget
+        # would silently evaluate nothing but the initial state.
+        if not (spec.supports_iteration_cap and config.max_iterations > 0):
+            raise ValueError(
+                f"strategy {spec.name!r} needs a stop condition: set "
+                f"time_budget_s > 0"
+                + (
+                    " or max_iterations > 0"
+                    if spec.supports_iteration_cap
+                    else " (it does not consume max_iterations)"
+                )
+            )
+    return spec.runner(model, initial, engine, config, tuple(warm_states))
 
 
 def generate_interface(
@@ -223,6 +322,10 @@ def generate_interface(
     warm_states: Sequence[DTNode] = (),
 ) -> GeneratedInterface:
     """Generate an interactive interface for a SQL query log.
+
+    This is the stable one-shot shim over the strategy registry; the
+    session-oriented :class:`repro.engine.Engine` exposes the same search
+    plus caching, incremental sessions, and structured reports.
 
     Args:
         queries: the input log — SQL strings or pre-parsed ASTs, in
@@ -244,12 +347,7 @@ def generate_interface(
     asts, screen, model, initial, engine = prepare_search(
         queries, screen=screen, config=config, engine=engine
     )
-    runner = _RUNNERS.get(config.strategy)
-    if runner is None:
-        raise ValueError(
-            f"unknown strategy {config.strategy!r} (have: {', '.join(STRATEGIES)})"
-        )
-    result = runner(model, initial, engine, config, tuple(warm_states))
+    result = run_search(model, initial, engine, config, warm_states)
     return GeneratedInterface(
         queries=asts, screen=screen, search=result, best=result.best
     )

@@ -1,0 +1,360 @@
+"""The session-oriented Engine facade over generate/serve.
+
+One long-lived object owns every piece of serving state the caller used
+to hand-wire — the rule engine, the parse-once AST caches (inside the
+:class:`~repro.serve.SessionRouter`), the :class:`~repro.serve.InterfaceCache`,
+the warm-start/compiled-sequence carry-over of
+:class:`~repro.serve.IncrementalGenerator`, and the batch worker pool —
+and exposes three verbs:
+
+* :meth:`Engine.generate` — one-shot, cache-aware generation.
+* :meth:`Engine.session` — a :class:`LogSession` handle whose
+  ``append()`` / ``interface()`` / ``history()`` make "append queries,
+  get the refreshed interface" the primary operation (incremental +
+  cached + warm-started under the hood).
+* :meth:`Engine.generate_batch` — many independent logs across a
+  process pool.
+
+Every verb returns a :class:`~repro.engine.report.GenerationReport`:
+the uniform JSON-serializable envelope (interface + search stats +
+kernel counters + cache/warm-start provenance + timings) intended as
+the stable contract for a future HTTP layer.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core import GeneratedInterface, GenerationConfig, prepare_search, run_search
+from ..difftree import as_asts, wrap_ast
+from ..layout import Screen
+from ..registry import get_workload, strategy_spec
+from ..rules import RuleEngine
+from ..serve import (
+    DEFAULT_SESSION,
+    EXECUTORS,
+    IncrementalGenerator,
+    InterfaceCache,
+    SessionRouter,
+    context_key,
+    generate_interfaces_batch,
+)
+from ..serve.stream import QueryLike
+from ..sqlast import Node
+from .report import GenerationReport
+
+
+def _cache_snapshot(cache: InterfaceCache) -> Dict[str, int]:
+    """Plain-dict snapshot of the cache counters (for report provenance)."""
+    stats = cache.stats
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "evictions": stats.evictions,
+        "prefix_hits": stats.prefix_hits,
+        "entries": len(cache),
+    }
+
+
+class LogSession:
+    """One serving session's handle: append queries, get interfaces.
+
+    Obtained from :meth:`Engine.session`; the engine keeps one handle
+    per id, so repeated ``session("a")`` calls share history.  All
+    state (log, warm-start carry, cache) lives in the owning engine —
+    the handle is just the session-scoped view of it.
+    """
+
+    def __init__(self, engine: "Engine", session_id: str) -> None:
+        self._engine = engine
+        self.session_id = session_id
+        #: Most recent reports, oldest first (bounded: the engine's
+        #: max_history caps what a long-lived session retains).
+        self._history: Deque[GenerationReport] = deque(maxlen=engine.max_history)
+
+    def __len__(self) -> int:
+        return self.log_length
+
+    @property
+    def log_length(self) -> int:
+        """How many queries this session has ingested."""
+        return len(self._engine.router.stream(self.session_id))
+
+    def append(self, *queries: QueryLike) -> int:
+        """Append queries (SQL text or ASTs); returns the new log length."""
+        return self._engine.router.append(self.session_id, *queries)
+
+    def interface(self) -> GenerationReport:
+        """The interface for the session's current log.
+
+        Incremental by construction: an unchanged log is a cache hit
+        (zero search), an appended one warm-starts from the previous
+        run's extended difftree, elites, and compiled sequences.
+        """
+        report = self._engine._session_interface(self.session_id)
+        self._history.append(report)
+        return report
+
+    def history(self) -> Tuple[GenerationReport, ...]:
+        """Retained reports, oldest first (the engine's ``max_history``
+        most recent ones)."""
+        return tuple(self._history)
+
+    def drop(self) -> bool:
+        """Forget the session's log and warm-start state (history stays)."""
+        return self._engine.drop_session(self.session_id)
+
+
+class Engine:
+    """The facade owning all generation/serving state.
+
+    Args:
+        screen: target screen (default wide).
+        config: generation settings shared by every verb; validated at
+            construction (see :class:`~repro.core.GenerationConfig`).
+        rules: custom rule engine (default: the paper's full set,
+            filtered by ``config.exclude_rules``).
+        cache: interface cache to consult/populate (default: fresh LRU).
+        router: session router for ingestion (default: 8 shards).
+        warm_top_k: elite transposition-table states carried between a
+            session's runs (incremental path).
+        executor: default batch executor — ``"process"``, ``"thread"``,
+            or ``"serial"``.
+        max_workers: default batch pool size.
+        max_history: reports each :class:`LogSession` retains for
+            :meth:`LogSession.history` (oldest dropped first;
+            ``None`` = unbounded).
+    """
+
+    def __init__(
+        self,
+        screen: Optional[Screen] = None,
+        config: Optional[GenerationConfig] = None,
+        rules: Optional[RuleEngine] = None,
+        cache: Optional[InterfaceCache] = None,
+        router: Optional[SessionRouter] = None,
+        warm_top_k: int = 4,
+        executor: str = "process",
+        max_workers: Optional[int] = None,
+        max_history: Optional[int] = 64,
+    ) -> None:
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if warm_top_k < 0:
+            raise ValueError(f"warm_top_k must be >= 0, got {warm_top_k}")
+        if max_history is not None and max_history < 0:
+            raise ValueError(f"max_history must be >= 0 or None, got {max_history}")
+        self.screen = screen or Screen.wide()
+        self.config = config or GenerationConfig()
+        self.rules = rules
+        self.cache = cache if cache is not None else InterfaceCache()
+        self.router = router if router is not None else SessionRouter()
+        self.warm_top_k = warm_top_k
+        self.executor = executor
+        self.max_workers = max_workers
+        self.max_history = max_history
+        self._ctx = context_key(self.screen, self.config)
+        #: Incremental service backing LogSessions (built on first use —
+        #: it requires a warm-start-capable strategy, which one-shot and
+        #: batch verbs do not).
+        self._incremental: Optional[IncrementalGenerator] = None
+        self._sessions: Dict[str, LogSession] = {}
+        #: Searches run by the one-shot/batch verbs (the incremental
+        #: service keeps its own count; see :attr:`searches_run`).
+        self._direct_searches = 0
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def strategy(self):
+        """The registered spec of the configured strategy."""
+        return strategy_spec(self.config.strategy)
+
+    @property
+    def searches_run(self) -> int:
+        """Actual searches executed (cache hits excluded), all verbs."""
+        incremental = (
+            self._incremental.searches_run if self._incremental is not None else 0
+        )
+        return self._direct_searches + incremental
+
+    @property
+    def cache_stats(self) -> Dict[str, int]:
+        return _cache_snapshot(self.cache)
+
+    @staticmethod
+    def workload(name: str, *args, **kwargs):
+        """Generate a registered workload log by name (e.g. ``"sdss"``)."""
+        import repro.workloads  # noqa: F401  (registers the built-ins)
+
+        return get_workload(name)(*args, **kwargs)
+
+    # -- one-shot -----------------------------------------------------------
+
+    def generate(
+        self,
+        queries: Sequence[Union[str, Node]],
+        warm_states: Sequence = (),
+    ) -> GenerationReport:
+        """One-shot, cache-aware generation for a full log.
+
+        A log already served by this engine (exactly, or permuted /
+        duplicated — the cache key is order-insensitive) returns from
+        the cache without searching; otherwise the configured strategy
+        runs (capabilities enforced declaratively by the registry) and
+        the result is cached for future one-shot *and* session calls.
+        """
+        t0 = time.perf_counter()
+        # Key and consult the cache before building any search machinery
+        # — a hit must not pay for a cost model or rule engine.
+        asts = as_asts(queries)
+        key = InterfaceCache.key_for(asts, self.screen, self.config)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return GenerationReport(
+                result=cached,
+                source="cache",
+                strategy=cached.search.strategy,
+                log_size=len(asts),
+                cache_stats=self.cache_stats,
+                timings={"total_s": time.perf_counter() - t0},
+            )
+        asts, screen, model, initial, rules = prepare_search(
+            asts, screen=self.screen, config=self.config, engine=self.rules
+        )
+        result = run_search(model, initial, rules, self.config, warm_states)
+        self._direct_searches += 1
+        generated = GeneratedInterface(
+            queries=asts, screen=screen, search=result, best=result.best
+        )
+        self.cache.put(
+            key,
+            generated,
+            query_keys=tuple(wrap_ast(ast).canonical_key for ast in asts),
+            ctx=self._ctx,
+        )
+        return GenerationReport(
+            result=generated,
+            source="search",
+            strategy=result.strategy,
+            log_size=len(asts),
+            warm_states_seeded=result.stats.warm_states_seeded,
+            cache_stats=self.cache_stats,
+            timings={
+                "total_s": time.perf_counter() - t0,
+                "search_s": result.elapsed,
+            },
+        )
+
+    # -- sessions -----------------------------------------------------------
+
+    def session(self, session_id: str = DEFAULT_SESSION) -> LogSession:
+        """The (shared) handle for one serving session.
+
+        Requires a warm-start-capable strategy — the capability the
+        incremental path is built on; others raise at first use.
+        """
+        self._incremental_service()  # fail fast on incapable strategies
+        handle = self._sessions.get(session_id)
+        if handle is None:
+            handle = LogSession(self, session_id)
+            self._sessions[session_id] = handle
+        return handle
+
+    def sessions(self) -> List[str]:
+        """Ids of every session the router currently holds."""
+        return self.router.sessions()
+
+    def drop_session(self, session_id: str) -> bool:
+        """Forget a session's log and warm-start state."""
+        self._sessions.pop(session_id, None)
+        if self._incremental is not None:
+            return self._incremental.drop_session(session_id)
+        return self.router.drop(session_id)
+
+    def _incremental_service(self) -> IncrementalGenerator:
+        if self._incremental is None:
+            self._incremental = IncrementalGenerator(
+                screen=self.screen,
+                config=self.config,
+                engine=self.rules,
+                cache=self.cache,
+                router=self.router,
+                warm_top_k=self.warm_top_k,
+            )
+        return self._incremental
+
+    def _session_interface(self, session_id: str) -> GenerationReport:
+        service = self._incremental_service()
+        before = service.searches_run
+        t0 = time.perf_counter()
+        generated = service.generate(session_id)
+        total_s = time.perf_counter() - t0
+        searched = service.searches_run > before
+        timings = {"total_s": total_s}
+        if searched:
+            timings["search_s"] = generated.search.elapsed
+        return GenerationReport(
+            result=generated,
+            source="search" if searched else "cache",
+            strategy=generated.search.strategy,
+            session_id=session_id,
+            log_size=len(generated.queries),
+            warm_states_seeded=(
+                generated.search.stats.warm_states_seeded if searched else 0
+            ),
+            cache_stats=self.cache_stats,
+            timings=timings,
+        )
+
+    # -- batch --------------------------------------------------------------
+
+    def generate_batch(
+        self,
+        logs: Sequence[Sequence[QueryLike]],
+        executor: Optional[str] = None,
+        max_workers: Optional[int] = None,
+    ) -> List[GenerationReport]:
+        """One interface per log, fanned across the worker pool.
+
+        Results come back in input order and are inserted into the
+        engine's cache, so follow-up one-shot or session calls over the
+        same logs are hits.
+        """
+        t0 = time.perf_counter()
+        results = generate_interfaces_batch(
+            logs,
+            screen=self.screen,
+            config=self.config,
+            max_workers=max_workers if max_workers is not None else self.max_workers,
+            executor=executor or self.executor,
+        )
+        total_s = time.perf_counter() - t0
+        reports = []
+        for generated in results:
+            self._direct_searches += 1
+            key = InterfaceCache.key_for(generated.queries, self.screen, self.config)
+            self.cache.put(
+                key,
+                generated,
+                query_keys=tuple(
+                    wrap_ast(ast).canonical_key for ast in generated.queries
+                ),
+                ctx=self._ctx,
+            )
+            reports.append(
+                GenerationReport(
+                    result=generated,
+                    source="batch",
+                    strategy=generated.search.strategy,
+                    log_size=len(generated.queries),
+                    cache_stats=self.cache_stats,
+                    timings={
+                        "total_s": total_s,
+                        "search_s": generated.search.elapsed,
+                    },
+                )
+            )
+        return reports

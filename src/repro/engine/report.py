@@ -1,0 +1,137 @@
+"""The structured result envelope every Engine entry point returns.
+
+:class:`GenerationReport` wraps the rich in-process
+:class:`~repro.core.GeneratedInterface` with the serving metadata a
+caller (or a future HTTP layer) needs to interpret it: where the answer
+came from (fresh search vs. cache), how it was warm-started, what the
+search did (iterations, kernel counters), and how long each phase took.
+``to_dict()`` flattens the whole envelope into plain JSON-serializable
+types — the stable wire contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core import GeneratedInterface
+
+#: Bump when the ``to_dict`` wire shape changes incompatibly.
+REPORT_SCHEMA_VERSION = 1
+
+#: Where a report's interface came from.
+SOURCES = ("search", "cache", "batch")
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert dataclasses/tuples into JSON-native types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+@dataclass
+class GenerationReport:
+    """One generation outcome plus its serving provenance.
+
+    Attributes:
+        result: the full in-process interface (difftree, widget tree,
+            search diagnostics) — everything the legacy API returned.
+        source: ``"search"`` (a search ran for this call), ``"cache"``
+            (served from :class:`~repro.serve.InterfaceCache` with zero
+            new search work), or ``"batch"`` (one lane of a batch run).
+        strategy: the search strategy that produced the interface (for
+            cache hits: the strategy of the original run).
+        session_id: serving session the report belongs to, if any.
+        log_size: how many queries the interface expresses.
+        warm_states_seeded: warm-start states injected into this call's
+            search (0 for cold runs and cache hits).
+        cache_stats: snapshot of the owning cache's counters at serve
+            time (empty when the entry point has no cache).
+        timings: wall-clock phases in seconds; always has ``total_s``,
+            search-backed reports add ``search_s``.
+    """
+
+    result: GeneratedInterface
+    source: str = "search"
+    strategy: str = ""
+    session_id: Optional[str] = None
+    log_size: int = 0
+    warm_states_seeded: int = 0
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.source not in SOURCES:
+            raise ValueError(f"source must be one of {SOURCES}, got {self.source!r}")
+
+    # -- convenience passthroughs (the legacy surface) ----------------------
+
+    @property
+    def cost(self) -> float:
+        return self.result.cost
+
+    @property
+    def feasible(self) -> bool:
+        return self.result.best.breakdown.feasible
+
+    @property
+    def ascii_art(self) -> str:
+        return self.result.ascii_art
+
+    @property
+    def difftree(self):
+        return self.result.difftree
+
+    @property
+    def widget_tree(self):
+        return self.result.widget_tree
+
+    @property
+    def search(self):
+        """The underlying :class:`~repro.search.SearchResult`."""
+        return self.result.search
+
+    def html(self, title: str = "Generated interface") -> str:
+        return self.result.html(title=title)
+
+    # -- the wire contract --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-serializable envelope (stable keys, plain types)."""
+        search = self.result.search
+        history: List[Tuple[float, float]] = search.history
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "source": self.source,
+            "strategy": self.strategy or search.strategy,
+            "session_id": self.session_id,
+            "log_size": self.log_size or len(self.result.queries),
+            "cost": self.cost,
+            "feasible": self.feasible,
+            "ascii_art": self.ascii_art,
+            "screen": _jsonable(self.result.screen),
+            "breakdown": _jsonable(self.result.best.breakdown),
+            "search": {
+                "strategy": search.strategy,
+                "elapsed_s": search.elapsed,
+                "history": _jsonable(history),
+                "stats": _jsonable(search.stats),
+            },
+            "provenance": {
+                "source": self.source,
+                "warm_states_seeded": self.warm_states_seeded,
+                "cache": dict(self.cache_stats),
+            },
+            "timings": dict(self.timings),
+        }

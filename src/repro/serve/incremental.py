@@ -48,6 +48,7 @@ from ..core import (
 from ..cost import CompiledSequence
 from ..difftree import DTNode, extend_difftree
 from ..layout import Screen
+from ..registry import strategy_spec
 from ..rules import RuleEngine
 from ..search.mcts import MCTS
 from .cache import InterfaceCache, context_key
@@ -94,9 +95,18 @@ class IncrementalGenerator:
         warm_top_k: int = 4,
     ) -> None:
         config = config or GenerationConfig()
-        if config.strategy != "mcts":
+        if not strategy_spec(config.strategy).supports_warm_start:
             raise ValueError(
-                f"IncrementalGenerator warm-starts MCTS; got strategy {config.strategy!r}"
+                f"IncrementalGenerator needs a warm-start-capable strategy; "
+                f"{config.strategy!r} does not declare supports_warm_start"
+            )
+        if config.strategy != "mcts":
+            # The warm path below drives the MCTS class directly (node
+            # table + incumbent seeding); a custom warm-capable strategy
+            # would be silently ignored, so refuse it honestly.
+            raise ValueError(
+                f"IncrementalGenerator currently drives MCTS directly; "
+                f"strategy {config.strategy!r} is not supported here"
             )
         self.screen = screen or Screen.wide()
         self.config = config
@@ -118,6 +128,11 @@ class IncrementalGenerator:
 
     def log_length(self, session_id: str = DEFAULT_SESSION) -> int:
         return len(self.router.stream(session_id))
+
+    def drop_session(self, session_id: str = DEFAULT_SESSION) -> bool:
+        """Forget a session's stream and warm-start carry; True if it existed."""
+        existed = self.router.drop(session_id)
+        return (self._sessions.pop(session_id, None) is not None) or existed
 
     # -- generation ---------------------------------------------------------
 

@@ -1,6 +1,16 @@
 """Evaluation workloads: the paper's SDSS log, TPC-H-style analytic
-sessions, and synthetic generators."""
+sessions, and synthetic generators.
 
+Each generator also registers itself in the shared workload registry
+(:mod:`repro.registry`) with descriptive tags — ``"growing"`` session
+generators (SQL strings, ``(num_queries, seed=...)`` signature) power
+the serving benches and :meth:`repro.engine.Engine.workload`;
+``"synthetic"`` pattern logs (parsed ASTs) power the scaling/ablation
+benches.  Resolve them by name with :func:`repro.registry.get_workload`
+or list them with :func:`repro.registry.workload_names`.
+"""
+
+from ..registry import get_workload, workload_names, workload_spec
 from .sdss import LISTING1_SQL, listing1_queries, listing1_sql, sdss_session_sql
 from .synthetic import (
     clause_toggle_log,
@@ -32,4 +42,7 @@ __all__ = [
     "predicate_add_log",
     "projection_cycle_log",
     "mixed_session_log",
+    "get_workload",
+    "workload_names",
+    "workload_spec",
 ]

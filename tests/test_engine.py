@@ -1,0 +1,347 @@
+"""Tests for the Engine facade, the strategy/workload registries,
+capability enforcement, early config validation, and the report envelope."""
+
+import json
+
+import pytest
+
+import repro.registry as registry
+from repro import (
+    Engine,
+    GenerationConfig,
+    GenerationReport,
+    IncrementalGenerator,
+    Screen,
+    generate_interface,
+)
+from repro.difftree import as_asts, expresses_all, initial_difftree
+from repro.engine import (
+    get_workload,
+    register_strategy,
+    register_workload,
+    strategy_names,
+    strategy_spec,
+    workload_names,
+    workload_spec,
+)
+from repro.workloads import listing1_sql
+
+#: A fast config for tests that exercise plumbing, not search quality.
+FAST = GenerationConfig(time_budget_s=0.3, seed=0)
+
+#: A deterministic config: iteration-capped, generous wall clock, so two
+#: runs with the same seed do identical work regardless of machine load.
+DETERMINISTIC = GenerationConfig(time_budget_s=30.0, max_iterations=2, seed=0)
+
+
+class TestStrategyRegistry:
+    def test_builtins_registered(self):
+        assert set(strategy_names()) >= {"mcts", "random", "greedy", "beam", "exhaustive"}
+
+    def test_capabilities_declared(self):
+        assert strategy_spec("mcts").supports_warm_start
+        assert not strategy_spec("greedy").supports_warm_start
+        assert not strategy_spec("exhaustive").needs_time_budget
+
+    def test_unknown_strategy_lists_known(self):
+        with pytest.raises(ValueError, match="mcts"):
+            strategy_spec("simulated-annealing")
+
+    def test_duplicate_registration_rejected(self):
+        @register_strategy("test_dup_strategy")
+        def runner(model, initial, engine, config, warm_states):
+            raise NotImplementedError
+
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_strategy("test_dup_strategy")(runner)
+        finally:
+            registry._STRATEGIES.pop("test_dup_strategy", None)
+
+    def test_custom_strategy_usable_in_config(self):
+        from repro.search import greedy_search
+
+        @register_strategy("test_greedy_alias", needs_time_budget=True)
+        def runner(model, initial, engine, config, warm_states):
+            return greedy_search(
+                model,
+                initial,
+                engine=engine,
+                time_budget_s=config.time_budget_s,
+                k_assignments=config.k_assignments,
+                seed=config.seed,
+                final_cap=config.final_cap,
+            )
+
+        try:
+            config = GenerationConfig(strategy="test_greedy_alias", time_budget_s=0.2)
+            result = generate_interface(listing1_sql(1, 2), config=config)
+            assert result.best.breakdown.feasible
+        finally:
+            registry._STRATEGIES.pop("test_greedy_alias", None)
+
+
+class TestWorkloadRegistry:
+    def test_builtins_registered(self):
+        assert set(workload_names(tag="growing")) == {"sdss", "tpch"}
+        assert "synthetic.value_drift" in workload_names(tag="synthetic")
+
+    def test_factory_resolves(self):
+        log = get_workload("sdss")(4, seed=0)
+        assert len(log) == 4
+        assert all(isinstance(sql, str) for sql in log)
+
+    def test_unknown_workload_lists_known(self):
+        with pytest.raises(ValueError, match="sdss"):
+            get_workload("imdb")
+
+    def test_duplicate_registration_rejected(self):
+        register_workload("test_dup_workload")(lambda n, seed=0: [])
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_workload("test_dup_workload")(lambda n, seed=0: [])
+        finally:
+            registry._WORKLOADS.pop("test_dup_workload", None)
+
+    def test_spec_tags(self):
+        assert workload_spec("tpch").has_tag("growing")
+        assert not workload_spec("tpch").has_tag("synthetic")
+
+
+class TestConfigValidation:
+    def test_negative_time_budget(self):
+        with pytest.raises(ValueError, match="time_budget_s"):
+            GenerationConfig(time_budget_s=-0.5)
+
+    def test_zero_k_assignments(self):
+        with pytest.raises(ValueError, match="k_assignments"):
+            GenerationConfig(k_assignments=0)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            GenerationConfig(strategy="anealing")
+
+    def test_misspelled_exclude_rules(self):
+        with pytest.raises(ValueError, match="exclude_rules"):
+            GenerationConfig(exclude_rules=("Lift", "Disribute"))
+
+    def test_negative_max_iterations(self):
+        with pytest.raises(ValueError, match="max_iterations"):
+            GenerationConfig(max_iterations=-1)
+
+    def test_zero_final_cap(self):
+        with pytest.raises(ValueError, match="final_cap"):
+            GenerationConfig(final_cap=0)
+
+    def test_replace_revalidates(self):
+        with pytest.raises(ValueError, match="time_budget_s"):
+            FAST.replace(time_budget_s=-1.0)
+        assert FAST.replace(seed=7).seed == 7
+
+
+class TestCapabilityEnforcement:
+    def test_warm_states_rejected_without_capability(self):
+        queries = as_asts(listing1_sql(1, 3))
+        tree = initial_difftree(queries)
+        with pytest.raises(ValueError, match="warm start"):
+            generate_interface(
+                queries,
+                config=GenerationConfig(strategy="greedy", time_budget_s=0.2),
+                warm_states=[tree],
+            )
+
+    def test_incremental_requires_warm_capable_strategy(self):
+        with pytest.raises(ValueError, match="supports_warm_start"):
+            IncrementalGenerator(config=GenerationConfig(strategy="beam"))
+
+    def test_session_requires_warm_capable_strategy(self):
+        engine = Engine(config=GenerationConfig(strategy="random", time_budget_s=0.2))
+        with pytest.raises(ValueError, match="supports_warm_start"):
+            engine.session("a")
+
+    def test_time_budget_required_when_declared(self):
+        config = GenerationConfig(time_budget_s=0.0, max_iterations=0)
+        with pytest.raises(ValueError, match="stop condition"):
+            generate_interface(listing1_sql(1, 2), config=config)
+
+    def test_iteration_cap_only_accepted_where_consumed(self):
+        # MCTS consumes max_iterations: a zero budget with a cap is fine.
+        capped = GenerationConfig(time_budget_s=0.0, max_iterations=1)
+        result = generate_interface(listing1_sql(1, 2), config=capped)
+        assert result.best.breakdown.feasible
+        # The walk baselines ignore max_iterations — a zero budget would
+        # silently evaluate only the initial state, so it must raise.
+        config = GenerationConfig(
+            strategy="random", time_budget_s=0.0, max_iterations=500
+        )
+        with pytest.raises(ValueError, match="does not consume max_iterations"):
+            generate_interface(listing1_sql(1, 2), config=config)
+
+    def test_incremental_rejects_non_mcts_even_if_warm_capable(self):
+        @register_strategy("test_warm_capable", supports_warm_start=True)
+        def runner(model, initial, engine, config, warm_states):
+            raise NotImplementedError
+
+        try:
+            config = GenerationConfig(strategy="test_warm_capable")
+            with pytest.raises(ValueError, match="drives MCTS directly"):
+                IncrementalGenerator(config=config)
+        finally:
+            registry._STRATEGIES.pop("test_warm_capable", None)
+
+    def test_exhaustive_runs_without_budget(self):
+        config = GenerationConfig(strategy="exhaustive", time_budget_s=0.0)
+        result = generate_interface(listing1_sql(1, 2), config=config)
+        assert result.best.breakdown.feasible
+
+
+class TestEngineParity:
+    def test_generate_matches_legacy_exactly(self):
+        """Seed-fixed, iteration-capped: Engine.generate and the legacy
+        generate_interface must produce identical ascii art and cost."""
+        log = listing1_sql(1, 4)
+        legacy = generate_interface(log, config=DETERMINISTIC)
+        report = Engine(config=DETERMINISTIC).generate(log)
+        assert report.cost == legacy.cost
+        assert report.ascii_art == legacy.ascii_art
+
+
+class TestEngine:
+    def test_one_shot_caches(self):
+        engine = Engine(config=FAST)
+        first = engine.generate(listing1_sql(1, 3))
+        assert first.source == "search"
+        assert engine.searches_run == 1
+        again = engine.generate(listing1_sql(1, 3))
+        assert again.source == "cache"
+        assert again.result is first.result
+        assert engine.searches_run == 1
+
+    def test_session_flow(self):
+        engine = Engine(config=FAST)
+        session = engine.session("a")
+        session.append(*listing1_sql(1, 3))
+        assert session.log_length == 3
+        first = session.interface()
+        assert first.source == "search"
+        assert first.session_id == "a"
+        repeat = session.interface()
+        assert repeat.source == "cache"
+        assert repeat.result is first.result
+        session.append(*listing1_sql(4, 5))
+        warm = session.interface()
+        assert warm.source == "search"
+        assert warm.warm_states_seeded >= 1
+        assert expresses_all(warm.difftree, as_asts(listing1_sql(1, 5)))
+        assert [r.source for r in session.history()] == ["search", "cache", "search"]
+
+    def test_session_handle_is_shared(self):
+        engine = Engine(config=FAST)
+        assert engine.session("a") is engine.session("a")
+
+    def test_sessions_isolated(self):
+        engine = Engine(config=FAST)
+        a = engine.session("a")
+        b = engine.session("b")
+        a.append(*listing1_sql(1, 2))
+        b.append(*listing1_sql(3, 4))
+        ra, rb = a.interface(), b.interface()
+        assert expresses_all(ra.difftree, as_asts(listing1_sql(1, 2)))
+        assert expresses_all(rb.difftree, as_asts(listing1_sql(3, 4)))
+
+    def test_one_shot_result_feeds_session_cache(self):
+        engine = Engine(config=FAST)
+        log = listing1_sql(1, 3)
+        engine.generate(log)
+        session = engine.session("a")
+        session.append(*log)
+        report = session.interface()
+        assert report.source == "cache"
+        assert engine.searches_run == 1
+
+    def test_drop_session(self):
+        engine = Engine(config=FAST)
+        session = engine.session("a")
+        session.append(*listing1_sql(1, 2))
+        session.interface()
+        assert session.drop()
+        assert not session.drop()
+        # Reading the length auto-creates a fresh, empty stream.
+        assert session.log_length == 0
+
+    def test_generate_batch_order_and_cache(self):
+        engine = Engine(config=FAST, executor="serial")
+        logs = [listing1_sql(1, 2), listing1_sql(3, 4)]
+        reports = engine.generate_batch(logs)
+        assert [r.source for r in reports] == ["batch", "batch"]
+        for log, report in zip(logs, reports):
+            assert expresses_all(report.difftree, as_asts(log))
+        # Batch results land in the cache: a one-shot repeat is a hit.
+        assert engine.generate(logs[0]).source == "cache"
+
+    def test_empty_session_raises(self):
+        engine = Engine(config=FAST)
+        with pytest.raises(ValueError, match="empty"):
+            engine.session("a").interface()
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            Engine(executor="gpu")
+
+    def test_workload_helper(self):
+        log = Engine.workload("tpch", 3, seed=1)
+        assert len(log) == 3
+
+    def test_history_is_bounded(self):
+        engine = Engine(config=FAST, max_history=2)
+        session = engine.session("a")
+        session.append(*listing1_sql(1, 2))
+        first = session.interface()
+        for _ in range(3):
+            session.interface()  # cache hits, but each yields a report
+        history = session.history()
+        assert len(history) == 2
+        assert first not in history
+
+    def test_negative_max_history_rejected(self):
+        with pytest.raises(ValueError, match="max_history"):
+            Engine(max_history=-1)
+
+
+class TestGenerationReport:
+    def test_to_dict_is_json_serializable(self):
+        report = Engine(config=FAST).generate(listing1_sql(1, 3))
+        payload = report.to_dict()
+        roundtrip = json.loads(json.dumps(payload))
+        assert roundtrip["schema_version"] == 1
+        assert roundtrip["source"] == "search"
+        assert roundtrip["strategy"] == "mcts"
+        assert roundtrip["log_size"] == 3
+        assert roundtrip["feasible"] is True
+        assert roundtrip["cost"] == pytest.approx(report.cost)
+        assert roundtrip["ascii_art"] == report.ascii_art
+        assert roundtrip["breakdown"]["m_cost"] >= 0
+        assert roundtrip["search"]["stats"]["iterations"] >= 1
+        assert roundtrip["provenance"]["cache"]["misses"] >= 1
+        assert roundtrip["timings"]["total_s"] > 0
+        assert roundtrip["screen"] == {"width": 1100.0, "height": 700.0}
+
+    def test_invalid_source_rejected(self):
+        report = Engine(config=FAST).generate(listing1_sql(1, 2))
+        with pytest.raises(ValueError, match="source"):
+            GenerationReport(result=report.result, source="oracle")
+
+    def test_passthroughs_match_result(self):
+        report = Engine(config=FAST).generate(listing1_sql(1, 2))
+        assert report.cost == report.result.cost
+        assert report.widget_tree is report.result.widget_tree
+        assert "<html" in report.html().lower()
+
+
+class TestScreenInKey:
+    def test_different_screen_is_a_different_entry(self):
+        log = listing1_sql(1, 3)
+        wide = Engine(config=FAST, screen=Screen.wide())
+        narrow = Engine(config=FAST, screen=Screen.narrow(), cache=wide.cache)
+        wide.generate(log)
+        assert narrow.generate(log).source == "search"

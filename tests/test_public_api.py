@@ -1,0 +1,59 @@
+"""Public-API smoke: modules import, and ``__all__`` matches reality.
+
+Doubles as the CI ``api-smoke`` gate: every name a module advertises in
+``__all__`` must actually resolve, and the primary entry points must be
+re-exported at the package root.
+"""
+
+import importlib
+
+import pytest
+
+PUBLIC_MODULES = (
+    "repro",
+    "repro.core",
+    "repro.engine",
+    "repro.serve",
+    "repro.registry",
+    "repro.workloads",
+    "repro.search",
+    "repro.cost",
+    "repro.rules",
+    "repro.difftree",
+)
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_imports_and_all_is_consistent(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    assert exported is not None, f"{module_name} must declare __all__"
+    assert len(exported) == len(set(exported)), f"duplicate names in {module_name}.__all__"
+    missing = [name for name in exported if not hasattr(module, name)]
+    assert not missing, f"{module_name}.__all__ advertises missing names: {missing}"
+
+
+def test_root_reexports_engine_surface():
+    import repro
+
+    for name in ("Engine", "LogSession", "GenerationReport"):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None
+
+
+def test_engine_reexports_registries():
+    import repro.engine as engine
+
+    for name in ("register_strategy", "register_workload", "strategy_names", "workload_names"):
+        assert name in engine.__all__
+
+
+def test_legacy_entry_points_still_importable():
+    from repro import (  # noqa: F401
+        GenerationConfig,
+        IncrementalGenerator,
+        generate_interface,
+        generate_interfaces_batch,
+    )
+    from repro.core import prepare_search, run_search  # noqa: F401
+    from repro.serve import DEFAULT_SESSION, InterfaceCache  # noqa: F401
