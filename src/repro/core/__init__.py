@@ -6,6 +6,7 @@ from .api import (
     GenerationConfig,
     as_mcts_config,
     generate_interface,
+    open_search_task,
     prepare_search,
     run_search,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "GeneratedInterface",
     "STRATEGIES",
     "as_mcts_config",
+    "open_search_task",
     "prepare_search",
     "run_search",
 ]

@@ -26,11 +26,17 @@ from ..database import Database
 from ..difftree import DTNode, as_asts, initial_difftree
 from ..interface import InterfaceSession, render_ascii, render_html
 from ..layout import Screen
-from ..registry import register_strategy, strategy_names, strategy_spec
+from ..registry import StrategySpec, register_strategy, strategy_names, strategy_spec
 from ..rules import DEFAULT_RULE_NAMES, RuleEngine, default_engine
 from ..search import (
+    MCTS,
+    BeamSearchTask,
+    ExhaustiveSearchTask,
+    GreedySearchTask,
     MCTSConfig,
+    RandomSearchTask,
     SearchResult,
+    SearchTask,
     beam_search,
     exhaustive_search,
     greedy_search,
@@ -181,7 +187,64 @@ def prepare_search(
 # -- registered strategies -----------------------------------------------------
 #
 # Each strategy declares its capabilities at registration; the dispatch in
-# run_search() enforces them, replacing the per-runner _require_cold checks.
+# run_search()/open_search_task() enforces them, replacing the per-runner
+# _require_cold checks.  Every built-in registers a task_factory returning an
+# *opened* SearchTask, so all of them can be time-sliced by the scheduler;
+# the runner remains the monolithic convenience (one unbounded step).
+
+
+def _open_mcts(model, initial, engine, config, warm_states) -> SearchTask:
+    return MCTS(model, engine=engine, config=as_mcts_config(config)).open(
+        initial, warm_states=warm_states
+    )
+
+
+def _open_random(model, initial, engine, config, warm_states) -> SearchTask:
+    return RandomSearchTask(
+        model,
+        initial,
+        engine=engine,
+        time_budget_s=config.time_budget_s,
+        max_walk_steps=config.max_walk_steps,
+        k_assignments=config.k_assignments,
+        seed=config.seed,
+        final_cap=config.final_cap,
+    )
+
+
+def _open_greedy(model, initial, engine, config, warm_states) -> SearchTask:
+    return GreedySearchTask(
+        model,
+        initial,
+        engine=engine,
+        time_budget_s=config.time_budget_s,
+        k_assignments=config.k_assignments,
+        seed=config.seed,
+        final_cap=config.final_cap,
+    )
+
+
+def _open_beam(model, initial, engine, config, warm_states) -> SearchTask:
+    return BeamSearchTask(
+        model,
+        initial,
+        engine=engine,
+        time_budget_s=config.time_budget_s,
+        k_assignments=config.k_assignments,
+        seed=config.seed,
+        final_cap=config.final_cap,
+    )
+
+
+def _open_exhaustive(model, initial, engine, config, warm_states) -> SearchTask:
+    return ExhaustiveSearchTask(
+        model,
+        initial,
+        engine=engine,
+        k_assignments=config.k_assignments,
+        seed=config.seed,
+        final_cap=config.final_cap,
+    )
 
 
 @register_strategy(
@@ -189,6 +252,7 @@ def prepare_search(
     supports_warm_start=True,
     needs_time_budget=True,
     supports_iteration_cap=True,
+    task_factory=_open_mcts,
     description="the paper's MCTS over difftree states (warm-startable)",
 )
 def _run_mcts(model, initial, engine, config, warm_states):
@@ -204,6 +268,7 @@ def _run_mcts(model, initial, engine, config, warm_states):
 @register_strategy(
     "random",
     needs_time_budget=True,
+    task_factory=_open_random,
     description="random-restart walks baseline",
 )
 def _run_random(model, initial, engine, config, warm_states):
@@ -222,6 +287,7 @@ def _run_random(model, initial, engine, config, warm_states):
 @register_strategy(
     "greedy",
     needs_time_budget=True,
+    task_factory=_open_greedy,
     description="greedy hill-climbing baseline (forward rules only)",
 )
 def _run_greedy(model, initial, engine, config, warm_states):
@@ -239,6 +305,7 @@ def _run_greedy(model, initial, engine, config, warm_states):
 @register_strategy(
     "beam",
     needs_time_budget=True,
+    task_factory=_open_beam,
     description="beam-search baseline",
 )
 def _run_beam(model, initial, engine, config, warm_states):
@@ -256,6 +323,7 @@ def _run_beam(model, initial, engine, config, warm_states):
 @register_strategy(
     "exhaustive",
     needs_time_budget=False,
+    task_factory=_open_exhaustive,
     description="exhaustive state enumeration (tiny logs only)",
 )
 def _run_exhaustive(model, initial, engine, config, warm_states):
@@ -275,22 +343,10 @@ def _run_exhaustive(model, initial, engine, config, warm_states):
 STRATEGIES = strategy_names()
 
 
-def run_search(
-    model: CostModel,
-    initial: DTNode,
-    engine: RuleEngine,
-    config: GenerationConfig,
-    warm_states: Sequence[DTNode] = (),
-) -> SearchResult:
-    """Dispatch one search through the strategy registry.
-
-    Enforces the strategy's declared capabilities: ``warm_states`` are
-    rejected unless the strategy ``supports_warm_start``, and strategies
-    that ``needs_time_budget`` require a positive wall-clock budget —
-    or, if they declare ``supports_iteration_cap``, a positive
-    ``max_iterations``.
-    """
-    spec = strategy_spec(config.strategy)
+def _validate_dispatch(
+    spec: StrategySpec, config: GenerationConfig, warm_states: Sequence[DTNode]
+) -> None:
+    """Enforce a strategy's declared capabilities before dispatching."""
     if warm_states and not spec.supports_warm_start:
         raise ValueError(
             f"strategy {spec.name!r} does not support warm starts "
@@ -311,6 +367,61 @@ def run_search(
                     else " (it does not consume max_iterations)"
                 )
             )
+
+
+def open_search_task(
+    model: CostModel,
+    initial: DTNode,
+    engine: RuleEngine,
+    config: GenerationConfig,
+    warm_states: Sequence[DTNode] = (),
+) -> SearchTask:
+    """Open (but do not run) a resumable search task for ``config``.
+
+    The stepping entry point of the strategy registry: capability checks
+    are identical to :func:`run_search`, but instead of running to
+    completion the opened :class:`~repro.search.SearchTask` is returned
+    for the caller — typically the multi-session scheduler — to drive
+    via ``step()``.  Raises for strategies registered without a
+    ``task_factory``.
+    """
+    spec = strategy_spec(config.strategy)
+    _validate_dispatch(spec, config, warm_states)
+    if not spec.supports_stepping or spec.task_factory is None:
+        steppable = ", ".join(
+            n for n in strategy_names() if strategy_spec(n).supports_stepping
+        )
+        raise ValueError(
+            f"strategy {spec.name!r} does not support stepping "
+            f"(steppable: {steppable})"
+        )
+    return spec.task_factory(model, initial, engine, config, tuple(warm_states))
+
+
+def run_search(
+    model: CostModel,
+    initial: DTNode,
+    engine: RuleEngine,
+    config: GenerationConfig,
+    warm_states: Sequence[DTNode] = (),
+) -> SearchResult:
+    """Dispatch one search through the strategy registry.
+
+    Enforces the strategy's declared capabilities: ``warm_states`` are
+    rejected unless the strategy ``supports_warm_start``, and strategies
+    that ``needs_time_budget`` require a positive wall-clock budget —
+    or, if they declare ``supports_iteration_cap``, a positive
+    ``max_iterations``.
+
+    Steppable strategies run as one unbounded step of their opened task
+    (the same code path the scheduler slices); legacy runners registered
+    without a ``task_factory`` fall back to their monolithic function.
+    """
+    spec = strategy_spec(config.strategy)
+    _validate_dispatch(spec, config, warm_states)
+    if spec.supports_stepping and spec.task_factory is not None:
+        task = spec.task_factory(model, initial, engine, config, tuple(warm_states))
+        return task.run()
     return spec.runner(model, initial, engine, config, tuple(warm_states))
 
 

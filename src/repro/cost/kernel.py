@@ -48,6 +48,7 @@ Bitwise-parity invariant
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -147,9 +148,17 @@ class BoundedLRU:
     time instead of dropping the incumbent's cached entries all at once.
     Reads refresh recency (Python dicts preserve insertion order, so the
     oldest entry is the first key).
+
+    Thread-safe (like :class:`repro.serve.cache.InterfaceCache`): the
+    recency-refresh on ``get`` and the evicting ``__setitem__`` are
+    pop-then-reinsert sequences that corrupt the dict if interleaved, so
+    every operation holds the lock — evaluators and cost models shared
+    across the concurrent session scheduler's workers stay consistent.
+    ``values()``/``items()`` return point-in-time snapshots (callers
+    iterate without holding the lock).
     """
 
-    __slots__ = ("capacity", "evictions", "_data")
+    __slots__ = ("capacity", "evictions", "_data", "_lock")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -157,33 +166,40 @@ class BoundedLRU:
         self.capacity = capacity
         self.evictions = 0
         self._data: Dict[Any, Any] = {}
+        self._lock = threading.Lock()
 
     def get(self, key: Any, default: Any = None) -> Any:
-        if key not in self._data:
-            return default
-        value = self._data.pop(key)
-        self._data[key] = value
-        return value
+        with self._lock:
+            if key not in self._data:
+                return default
+            value = self._data.pop(key)
+            self._data[key] = value
+            return value
 
     def __setitem__(self, key: Any, value: Any) -> None:
-        if key in self._data:
-            del self._data[key]
-        self._data[key] = value
-        while len(self._data) > self.capacity:
-            del self._data[next(iter(self._data))]
-            self.evictions += 1
+        with self._lock:
+            if key in self._data:
+                del self._data[key]
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                del self._data[next(iter(self._data))]
+                self.evictions += 1
 
     def __contains__(self, key: Any) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def values(self):
-        return self._data.values()
+        with self._lock:
+            return list(self._data.values())
 
     def items(self):
-        return self._data.items()
+        with self._lock:
+            return list(self._data.items())
 
 
 # -- Level 1: the compiled query sequence ---------------------------------------

@@ -16,9 +16,15 @@ of the serving story::
 
     reports = engine.generate_batch([log_a, log_b])   # process-pool fan-out
 
+    scheduler = engine.scheduler()             # concurrent multi-session serving
+    scheduler.submit("analyst-1", [log_a[:5], log_a[5:]])
+    scheduler.submit("analyst-2", [log_b])
+    tickets = scheduler.run()                  # time-sliced, fair, warm-started
+
 Every verb returns a :class:`GenerationReport` — the uniform
-JSON-serializable envelope.  Strategies and workloads are resolved
-through the pluggable registries in :mod:`repro.registry`.
+JSON-serializable envelope (scheduler deliveries add scheduling
+provenance).  Strategies and workloads are resolved through the
+pluggable registries in :mod:`repro.registry`.
 """
 
 from ..registry import (
@@ -34,6 +40,7 @@ from ..registry import (
 )
 from .core import Engine, LogSession
 from .report import REPORT_SCHEMA_VERSION, SOURCES, GenerationReport
+from .scheduler import POLICIES, TICKET_STATES, SessionScheduler, SessionTicket
 
 __all__ = [
     "Engine",
@@ -41,6 +48,10 @@ __all__ = [
     "GenerationReport",
     "REPORT_SCHEMA_VERSION",
     "SOURCES",
+    "SessionScheduler",
+    "SessionTicket",
+    "POLICIES",
+    "TICKET_STATES",
     "StrategySpec",
     "WorkloadSpec",
     "register_strategy",

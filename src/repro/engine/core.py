@@ -23,8 +23,9 @@ the stable contract for a future HTTP layer.
 
 from __future__ import annotations
 
+import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core import GeneratedInterface, GenerationConfig, prepare_search, run_search
@@ -44,6 +45,7 @@ from ..serve import (
 from ..serve.stream import QueryLike
 from ..sqlast import Node
 from .report import GenerationReport
+from .scheduler import SessionScheduler
 
 
 def _cache_snapshot(cache: InterfaceCache) -> Dict[str, int]:
@@ -84,6 +86,7 @@ class LogSession:
 
     def append(self, *queries: QueryLike) -> int:
         """Append queries (SQL text or ASTs); returns the new log length."""
+        self._engine._touch_session(self.session_id)
         return self._engine.router.append(self.session_id, *queries)
 
     def interface(self) -> GenerationReport:
@@ -93,6 +96,7 @@ class LogSession:
         (zero search), an appended one warm-starts from the previous
         run's extended difftree, elites, and compiled sequences.
         """
+        self._engine._touch_session(self.session_id)
         report = self._engine._session_interface(self.session_id)
         self._history.append(report)
         return report
@@ -126,6 +130,12 @@ class Engine:
         max_history: reports each :class:`LogSession` retains for
             :meth:`LogSession.history` (oldest dropped first;
             ``None`` = unbounded).
+        max_sessions: how many live sessions the engine retains
+            (``None`` = unbounded).  Past the bound, the least recently
+            *used* session is evicted with its full serving state —
+            log stream, warm-start carry, and compiled sequences are
+            released through :meth:`drop_session`, so a long-running
+            engine's per-session state cannot leak.
     """
 
     def __init__(
@@ -139,6 +149,7 @@ class Engine:
         executor: str = "process",
         max_workers: Optional[int] = None,
         max_history: Optional[int] = 64,
+        max_sessions: Optional[int] = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -146,6 +157,8 @@ class Engine:
             raise ValueError(f"warm_top_k must be >= 0, got {warm_top_k}")
         if max_history is not None and max_history < 0:
             raise ValueError(f"max_history must be >= 0 or None, got {max_history}")
+        if max_sessions is not None and max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1 or None, got {max_sessions}")
         self.screen = screen or Screen.wide()
         self.config = config or GenerationConfig()
         self.rules = rules
@@ -155,12 +168,16 @@ class Engine:
         self.executor = executor
         self.max_workers = max_workers
         self.max_history = max_history
+        self.max_sessions = max_sessions
         self._ctx = context_key(self.screen, self.config)
         #: Incremental service backing LogSessions (built on first use —
         #: it requires a warm-start-capable strategy, which one-shot and
         #: batch verbs do not).
         self._incremental: Optional[IncrementalGenerator] = None
-        self._sessions: Dict[str, LogSession] = {}
+        #: Live session handles in least-recently-used order (guarded:
+        #: scheduler workers touch sessions from multiple threads).
+        self._sessions: "OrderedDict[str, LogSession]" = OrderedDict()
+        self._sessions_lock = threading.Lock()
         #: Searches run by the one-shot/batch verbs (the incremental
         #: service keeps its own count; see :attr:`searches_run`).
         self._direct_searches = 0
@@ -255,12 +272,30 @@ class Engine:
 
         Requires a warm-start-capable strategy — the capability the
         incremental path is built on; others raise at first use.
+
+        With ``max_sessions`` set, looking up (or creating) a session
+        refreshes its recency, and the least recently used sessions past
+        the bound are evicted via :meth:`drop_session` — releasing their
+        log streams *and* the incremental service's warm-start carry,
+        not just the handle.
         """
         self._incremental_service()  # fail fast on incapable strategies
-        handle = self._sessions.get(session_id)
-        if handle is None:
-            handle = LogSession(self, session_id)
-            self._sessions[session_id] = handle
+        evicted: List[str] = []
+        with self._sessions_lock:
+            handle = self._sessions.get(session_id)
+            if handle is None:
+                handle = LogSession(self, session_id)
+                self._sessions[session_id] = handle
+            self._sessions.move_to_end(session_id)
+            if self.max_sessions is not None:
+                while len(self._sessions) > self.max_sessions:
+                    old_id, _ = self._sessions.popitem(last=False)
+                    evicted.append(old_id)
+        for old_id in evicted:
+            # Outside the handle lock: eviction must also drop the
+            # warm-start/compiled-sequence carry and the log stream, or
+            # a bounded session table still leaks serving state.
+            self._drop_session_state(old_id)
         return handle
 
     def sessions(self) -> List[str]:
@@ -269,10 +304,60 @@ class Engine:
 
     def drop_session(self, session_id: str) -> bool:
         """Forget a session's log and warm-start state."""
-        self._sessions.pop(session_id, None)
+        with self._sessions_lock:
+            self._sessions.pop(session_id, None)
+        return self._drop_session_state(session_id)
+
+    def _touch_session(self, session_id: str) -> None:
+        """Refresh a session's LRU recency on actual use.
+
+        ``max_sessions`` eviction must track *use* (appends and serves
+        through a retained handle), not just :meth:`session` lookups —
+        otherwise an actively-served session could be evicted mid-
+        conversation while its idle siblings survive.
+        """
+        with self._sessions_lock:
+            if session_id in self._sessions:
+                self._sessions.move_to_end(session_id)
+
+    def _drop_session_state(self, session_id: str) -> bool:
+        """Release everything beyond the handle (stream + warm carry)."""
         if self._incremental is not None:
             return self._incremental.drop_session(session_id)
         return self.router.drop(session_id)
+
+    def scheduler(
+        self,
+        slice_iterations: Optional[int] = 16,
+        slice_s: Optional[float] = None,
+        policy: str = "round_robin",
+        max_active: Optional[int] = None,
+    ) -> SessionScheduler:
+        """A :class:`~repro.engine.scheduler.SessionScheduler` over this engine.
+
+        The concurrent-serving verb: submit many sessions' growing-log
+        scripts and let the scheduler time-slice their searches fairly
+        instead of serving them FIFO.  Shares the engine's cache,
+        router, and warm-start state, so scheduler-served sessions mix
+        freely with :meth:`generate` / :meth:`session` calls.
+
+        Args:
+            slice_iterations: search iterations per slice (``None`` =
+                slice only by ``slice_s``/completion).
+            slice_s: optional wall-clock bound per slice.
+            policy: ``"round_robin"`` (fair rotation), ``"deadline"``
+                (earliest target latency first), or ``"fifo"``
+                (no preemption — the blocking baseline).
+            max_active: admission control — concurrent sessions holding
+                search state (``None`` = unlimited).
+        """
+        return SessionScheduler(
+            self,
+            slice_iterations=slice_iterations,
+            slice_s=slice_s,
+            policy=policy,
+            max_active=max_active,
+        )
 
     def _incremental_service(self) -> IncrementalGenerator:
         if self._incremental is None:

@@ -60,6 +60,12 @@ class GenerationReport:
             time (empty when the entry point has no cache).
         timings: wall-clock phases in seconds; always has ``total_s``,
             search-backed reports add ``search_s``.
+        scheduling: scheduler provenance when the interface was produced
+            by a :class:`~repro.engine.SessionScheduler` (``None``
+            otherwise): the policy, how long the session waited for
+            admission (``queue_wait_s``), submission-to-delivery
+            ``latency_s``, and how the search was sliced (``slices``,
+            ``preemptions``, ``iterations``).
     """
 
     result: GeneratedInterface
@@ -70,6 +76,7 @@ class GenerationReport:
     warm_states_seeded: int = 0
     cache_stats: Dict[str, int] = field(default_factory=dict)
     timings: Dict[str, float] = field(default_factory=dict)
+    scheduling: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.source not in SOURCES:
@@ -133,5 +140,10 @@ class GenerationReport:
                 "warm_states_seeded": self.warm_states_seeded,
                 "cache": dict(self.cache_stats),
             },
+            "scheduling": (
+                _jsonable(dict(self.scheduling))
+                if self.scheduling is not None
+                else None
+            ),
             "timings": dict(self.timings),
         }

@@ -66,6 +66,14 @@ class StrategySpec:
         supports_iteration_cap: whether the strategy consumes
             ``max_iterations`` as an alternative stop condition (MCTS
             does; the walk/beam baselines ignore it).
+        supports_stepping: whether the strategy can run as a resumable
+            :class:`~repro.search.common.SearchTask` (open → ``step`` →
+            ``result``) — the capability the multi-session scheduler
+            requires.  Implies ``task_factory`` is set.
+        task_factory: ``factory(model, initial, engine, config,
+            warm_states)`` returning an *opened* ``SearchTask``.  When
+            present, dispatchers prefer it over ``runner`` (a monolithic
+            run is one unbounded step of the task).
         description: one-liner for ``strategy_names`` listings.
     """
 
@@ -74,7 +82,16 @@ class StrategySpec:
     supports_warm_start: bool = False
     needs_time_budget: bool = True
     supports_iteration_cap: bool = False
+    supports_stepping: bool = False
+    task_factory: Optional[Callable[..., object]] = None
     description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.supports_stepping and self.task_factory is None:
+            raise RegistryError(
+                f"strategy {self.name!r} declares supports_stepping "
+                f"but registered no task_factory"
+            )
 
 
 @dataclass(frozen=True)
@@ -130,14 +147,21 @@ def register_strategy(
     supports_warm_start: bool = False,
     needs_time_budget: bool = True,
     supports_iteration_cap: bool = False,
+    task_factory: Optional[Callable[..., object]] = None,
     description: str = "",
 ) -> Callable:
     """Decorator registering a search-strategy runner under ``name``.
 
     Usage::
 
-        @register_strategy("mcts", supports_warm_start=True)
+        @register_strategy("mcts", supports_warm_start=True,
+                           task_factory=_open_mcts_task)
         def _run_mcts(model, initial, engine, config, warm_states): ...
+
+    A strategy registered with a ``task_factory`` is *steppable*: the
+    factory returns an opened :class:`~repro.search.common.SearchTask`,
+    dispatchers prefer it over the runner, and the multi-session
+    scheduler can time-slice it.
 
     Raises:
         RegistryError: if ``name`` is already registered.
@@ -152,6 +176,8 @@ def register_strategy(
                 supports_warm_start=supports_warm_start,
                 needs_time_budget=needs_time_budget,
                 supports_iteration_cap=supports_iteration_cap,
+                supports_stepping=task_factory is not None,
+                task_factory=task_factory,
                 description=description or (runner.__doc__ or "").strip(),
             ),
             "strategy",

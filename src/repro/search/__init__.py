@@ -1,19 +1,47 @@
-"""Search strategies: MCTS (the paper's contribution) and baselines."""
+"""Search strategies: MCTS (the paper's contribution) and baselines.
 
-from .baselines import beam_search, exhaustive_search, greedy_search, random_search
-from .common import SearchResult, SearchStats, StateEvaluator, normalized_reward
-from .mcts import MCTS, MCTSConfig, mcts_search
+Every strategy is exposed two ways: a monolithic function (``*_search``)
+and a resumable :class:`SearchTask` (``open`` → ``step`` → ``result``)
+the multi-session scheduler time-slices.
+"""
+
+from .baselines import (
+    BeamSearchTask,
+    ExhaustiveSearchTask,
+    GreedySearchTask,
+    RandomSearchTask,
+    beam_search,
+    exhaustive_search,
+    greedy_search,
+    random_search,
+)
+from .common import (
+    SearchResult,
+    SearchStats,
+    SearchTask,
+    StateEvaluator,
+    TaskClock,
+    normalized_reward,
+)
+from .mcts import MCTS, MCTSConfig, MCTSTask, mcts_search
 
 __all__ = [
     "MCTS",
     "MCTSConfig",
+    "MCTSTask",
     "mcts_search",
     "random_search",
     "greedy_search",
     "beam_search",
     "exhaustive_search",
+    "RandomSearchTask",
+    "GreedySearchTask",
+    "BeamSearchTask",
+    "ExhaustiveSearchTask",
     "SearchResult",
     "SearchStats",
+    "SearchTask",
     "StateEvaluator",
+    "TaskClock",
     "normalized_reward",
 ]

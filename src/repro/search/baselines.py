@@ -1,26 +1,260 @@
 """Search baselines MCTS is compared against.
 
-* :func:`random_search` — repeated random walks, keep the best state seen.
-  Same move set, no statistics: isolates the value of UCT guidance.
-* :func:`greedy_search` — steepest-descent hill climbing on state cost
-  with optional random restarts; gets stuck in local minima the paper's
-  bidirectional rules are designed to escape.
-* :func:`beam_search` — breadth-limited systematic search.
-* :func:`exhaustive_search` — full BFS with state dedup up to a cap; the
-  exact optimum within its horizon, tractable only for tiny logs (used to
-  validate MCTS answer quality in tests).
+* :class:`RandomSearchTask` / :func:`random_search` — repeated random
+  walks, keep the best state seen.  Same move set, no statistics:
+  isolates the value of UCT guidance.
+* :class:`GreedySearchTask` / :func:`greedy_search` — steepest-descent
+  hill climbing on state cost with optional random restarts; gets stuck
+  in local minima the paper's bidirectional rules are designed to escape.
+* :class:`BeamSearchTask` / :func:`beam_search` — breadth-limited
+  systematic search.
+* :class:`ExhaustiveSearchTask` / :func:`exhaustive_search` — full BFS
+  with state dedup up to a cap; the exact optimum within its horizon,
+  tractable only for tiny logs (used to validate MCTS answer quality in
+  tests).
+
+Every baseline is a resumable :class:`~repro.search.common.SearchTask`
+state machine — construct (open) → ``step()`` → ``result()`` — so the
+multi-session scheduler can time-slice them exactly like MCTS.  The
+module-level functions are the monolithic conveniences: one unbounded
+step.  One unit of work per strategy: a full random walk, one
+hill-climbing sweep (or restart hop), one beam level, one BFS expansion.
 """
 
 from __future__ import annotations
 
 import random
 import time
-from typing import Optional
+from typing import List, Optional, Set
 
 from ..cost import CostModel
 from ..difftree import DTNode
 from ..rules import RuleEngine, default_engine
-from .common import SearchResult, StateEvaluator, finish_search
+from .common import SearchResult, SearchTask, StateEvaluator
+
+
+class RandomSearchTask(SearchTask):
+    """Random walks from the initial state; evaluate every visited state."""
+
+    strategy = "random"
+
+    def __init__(
+        self,
+        model: CostModel,
+        initial: DTNode,
+        engine: Optional[RuleEngine] = None,
+        time_budget_s: float = 5.0,
+        max_walk_steps: int = 200,
+        k_assignments: int = 5,
+        seed: int = 0,
+        final_cap: int = 4000,
+    ) -> None:
+        evaluator = StateEvaluator(model, k_assignments=k_assignments, seed=seed)
+        super().__init__(
+            evaluator, time_budget_s=time_budget_s, final_cap=final_cap
+        )
+        self._engine = engine or default_engine()
+        self._rng = random.Random(seed)
+        self._initial = initial
+        self._max_walk_steps = max_walk_steps
+        evaluator.restart_clock()
+        evaluator.evaluate(initial)
+        evaluator.clock.pause()
+
+    def _iterate(self) -> bool:
+        current = self._initial
+        for _ in range(self._max_walk_steps):
+            if time.perf_counter() >= self._deadline:
+                break
+            move = self._engine.random_move(current, self._rng)
+            if move is None:
+                break
+            current = self._engine.apply(current, move)
+            self.evaluator.evaluate(current)
+            self.evaluator.stats.walk_steps += 1
+        self.evaluator.stats.iterations += 1
+        return True  # fresh walks are always available
+
+
+class GreedySearchTask(SearchTask):
+    """Steepest-descent hill climbing with optional random restarts.
+
+    Each restart first takes ``restart_walk`` random steps away from the
+    initial state before descending again.  One unit of work is one
+    neighbor sweep (move or detect the local minimum) or one restart hop.
+    """
+
+    strategy = "greedy"
+
+    def __init__(
+        self,
+        model: CostModel,
+        initial: DTNode,
+        engine: Optional[RuleEngine] = None,
+        time_budget_s: float = 5.0,
+        k_assignments: int = 5,
+        restarts: int = 0,
+        restart_walk: int = 4,
+        seed: int = 0,
+        final_cap: int = 4000,
+    ) -> None:
+        evaluator = StateEvaluator(model, k_assignments=k_assignments, seed=seed)
+        super().__init__(
+            evaluator, time_budget_s=time_budget_s, final_cap=final_cap
+        )
+        self._engine = engine or default_engine()
+        self._rng = random.Random(seed)
+        self._initial = initial
+        self._restarts_left = restarts
+        self._restart_walk = restart_walk
+        evaluator.restart_clock()
+        #: Current descent position (None = at a local minimum, awaiting
+        #: a restart or termination).
+        self._current: Optional[DTNode] = initial
+        self._current_cost = evaluator.evaluate(initial).cost
+        evaluator.clock.pause()
+
+    def _iterate(self) -> bool:
+        evaluator = self.evaluator
+        if self._current is None:
+            if self._restarts_left <= 0:
+                return False
+            self._restarts_left -= 1
+            state = self._initial
+            for _ in range(self._restart_walk):
+                moves = self._engine.moves(state)
+                if not moves:
+                    break
+                state = self._engine.apply(state, self._rng.choice(moves))
+            self._current = state
+            self._current_cost = evaluator.evaluate(state).cost
+            return True
+        neighbors = self._engine.neighbors(self._current)
+        evaluator.stats.max_fanout = max(
+            evaluator.stats.max_fanout, len(neighbors)
+        )
+        best_state = None
+        best_cost = self._current_cost
+        for _, successor in neighbors:
+            cost = evaluator.evaluate(successor).cost
+            if cost < best_cost:
+                best_cost = cost
+                best_state = successor
+        if best_state is None:
+            # Local minimum: restart on the next unit, or finish.
+            self._current = None
+            return self._restarts_left > 0
+        self._current, self._current_cost = best_state, best_cost
+        evaluator.stats.iterations += 1
+        return True
+
+
+class BeamSearchTask(SearchTask):
+    """Keep the ``beam_width`` cheapest states at each depth."""
+
+    strategy = "beam"
+
+    def __init__(
+        self,
+        model: CostModel,
+        initial: DTNode,
+        engine: Optional[RuleEngine] = None,
+        beam_width: int = 8,
+        max_depth: int = 30,
+        time_budget_s: float = 10.0,
+        k_assignments: int = 5,
+        seed: int = 0,
+        final_cap: int = 4000,
+    ) -> None:
+        evaluator = StateEvaluator(model, k_assignments=k_assignments, seed=seed)
+        super().__init__(
+            evaluator, time_budget_s=time_budget_s, final_cap=final_cap
+        )
+        self._engine = engine or default_engine()
+        self._beam_width = beam_width
+        self._max_depth = max_depth
+        self._depth = 0
+        evaluator.restart_clock()
+        self._beam: List[DTNode] = [initial]
+        self._seen: Set[str] = {initial.canonical_key}
+        evaluator.evaluate(initial)
+        evaluator.clock.pause()
+
+    def _iterate(self) -> bool:
+        if self._depth >= self._max_depth:
+            return False
+        evaluator = self.evaluator
+        candidates = []
+        for state in self._beam:
+            for _, successor in self._engine.neighbors(state):
+                key = successor.canonical_key
+                if key in self._seen:
+                    continue
+                self._seen.add(key)
+                cost = evaluator.evaluate(successor).cost
+                candidates.append((cost, key, successor))
+        if not candidates:
+            return False
+        candidates.sort(key=lambda item: (item[0], item[1]))
+        self._beam = [state for _, _, state in candidates[: self._beam_width]]
+        evaluator.stats.iterations += 1
+        self._depth += 1
+        evaluator.stats.max_depth = self._depth
+        return True
+
+
+class ExhaustiveSearchTask(SearchTask):
+    """BFS over the whole (deduplicated) state space, up to ``max_states``.
+
+    Exact within its horizon; used on tiny logs to validate that MCTS
+    finds the true optimum.  Terminates on its own (no time budget).
+    """
+
+    strategy = "exhaustive"
+
+    def __init__(
+        self,
+        model: CostModel,
+        initial: DTNode,
+        engine: Optional[RuleEngine] = None,
+        max_states: int = 2000,
+        k_assignments: int = 5,
+        seed: int = 0,
+        final_cap: int = 4000,
+    ) -> None:
+        evaluator = StateEvaluator(model, k_assignments=k_assignments, seed=seed)
+        super().__init__(evaluator, time_budget_s=None, final_cap=final_cap)
+        self._engine = engine or default_engine()
+        self._max_states = max_states
+        evaluator.restart_clock()
+        self._queue: List[DTNode] = [initial]
+        self._seen: Set[str] = {initial.canonical_key}
+        self._index = 0
+        evaluator.evaluate(initial)
+        evaluator.clock.pause()
+
+    def _iterate(self) -> bool:
+        if self._index >= len(self._queue) or len(self._seen) >= self._max_states:
+            return False
+        evaluator = self.evaluator
+        state = self._queue[self._index]
+        self._index += 1
+        neighbors = self._engine.neighbors(state)
+        evaluator.stats.max_fanout = max(
+            evaluator.stats.max_fanout, len(neighbors)
+        )
+        for _, successor in neighbors:
+            key = successor.canonical_key
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            evaluator.evaluate(successor)
+            self._queue.append(successor)
+        evaluator.stats.iterations += 1
+        return True
+
+
+# -- monolithic conveniences ---------------------------------------------------
 
 
 def random_search(
@@ -34,25 +268,16 @@ def random_search(
     final_cap: int = 4000,
 ) -> SearchResult:
     """Random walks from the initial state; evaluate every visited state."""
-    engine = engine or default_engine()
-    rng = random.Random(seed)
-    evaluator = StateEvaluator(model, k_assignments=k_assignments, seed=seed)
-    evaluator.restart_clock()
-    start = time.perf_counter()
-    evaluator.evaluate(initial)
-    while time.perf_counter() - start < time_budget_s:
-        current = initial
-        for _ in range(max_walk_steps):
-            if time.perf_counter() - start >= time_budget_s:
-                break
-            move = engine.random_move(current, rng)
-            if move is None:
-                break
-            current = engine.apply(current, move)
-            evaluator.evaluate(current)
-            evaluator.stats.walk_steps += 1
-        evaluator.stats.iterations += 1
-    return finish_search(evaluator, "random", final_cap=final_cap)
+    return RandomSearchTask(
+        model,
+        initial,
+        engine=engine,
+        time_budget_s=time_budget_s,
+        max_walk_steps=max_walk_steps,
+        k_assignments=k_assignments,
+        seed=seed,
+        final_cap=final_cap,
+    ).run()
 
 
 def greedy_search(
@@ -66,49 +291,18 @@ def greedy_search(
     seed: int = 0,
     final_cap: int = 4000,
 ) -> SearchResult:
-    """Steepest-descent hill climbing with optional random restarts.
-
-    Each restart first takes ``restart_walk`` random steps away from the
-    initial state before descending again.
-    """
-    engine = engine or default_engine()
-    rng = random.Random(seed)
-    evaluator = StateEvaluator(model, k_assignments=k_assignments, seed=seed)
-    evaluator.restart_clock()
-    start = time.perf_counter()
-
-    def descend(state: DTNode) -> None:
-        current = state
-        current_cost = evaluator.evaluate(current).cost
-        while time.perf_counter() - start < time_budget_s:
-            neighbors = engine.neighbors(current)
-            evaluator.stats.max_fanout = max(
-                evaluator.stats.max_fanout, len(neighbors)
-            )
-            best_state = None
-            best_cost = current_cost
-            for _, successor in neighbors:
-                cost = evaluator.evaluate(successor).cost
-                if cost < best_cost:
-                    best_cost = cost
-                    best_state = successor
-            if best_state is None:
-                return
-            current, current_cost = best_state, best_cost
-            evaluator.stats.iterations += 1
-
-    descend(initial)
-    for _ in range(restarts):
-        if time.perf_counter() - start >= time_budget_s:
-            break
-        state = initial
-        for _ in range(restart_walk):
-            moves = engine.moves(state)
-            if not moves:
-                break
-            state = engine.apply(state, rng.choice(moves))
-        descend(state)
-    return finish_search(evaluator, "greedy", final_cap=final_cap)
+    """Steepest-descent hill climbing with optional random restarts."""
+    return GreedySearchTask(
+        model,
+        initial,
+        engine=engine,
+        time_budget_s=time_budget_s,
+        k_assignments=k_assignments,
+        restarts=restarts,
+        restart_walk=restart_walk,
+        seed=seed,
+        final_cap=final_cap,
+    ).run()
 
 
 def beam_search(
@@ -123,32 +317,17 @@ def beam_search(
     final_cap: int = 4000,
 ) -> SearchResult:
     """Keep the ``beam_width`` cheapest states at each depth."""
-    engine = engine or default_engine()
-    evaluator = StateEvaluator(model, k_assignments=k_assignments, seed=seed)
-    evaluator.restart_clock()
-    start = time.perf_counter()
-    beam = [initial]
-    seen = {initial.canonical_key}
-    evaluator.evaluate(initial)
-    for depth in range(max_depth):
-        if time.perf_counter() - start >= time_budget_s:
-            break
-        candidates = []
-        for state in beam:
-            for _, successor in engine.neighbors(state):
-                key = successor.canonical_key
-                if key in seen:
-                    continue
-                seen.add(key)
-                cost = evaluator.evaluate(successor).cost
-                candidates.append((cost, key, successor))
-        if not candidates:
-            break
-        candidates.sort(key=lambda item: (item[0], item[1]))
-        beam = [state for _, _, state in candidates[:beam_width]]
-        evaluator.stats.iterations += 1
-        evaluator.stats.max_depth = depth + 1
-    return finish_search(evaluator, "beam", final_cap=final_cap)
+    return BeamSearchTask(
+        model,
+        initial,
+        engine=engine,
+        beam_width=beam_width,
+        max_depth=max_depth,
+        time_budget_s=time_budget_s,
+        k_assignments=k_assignments,
+        seed=seed,
+        final_cap=final_cap,
+    ).run()
 
 
 def exhaustive_search(
@@ -160,29 +339,13 @@ def exhaustive_search(
     seed: int = 0,
     final_cap: int = 4000,
 ) -> SearchResult:
-    """BFS over the whole (deduplicated) state space, up to ``max_states``.
-
-    Exact within its horizon; used on tiny logs to validate that MCTS
-    finds the true optimum.
-    """
-    engine = engine or default_engine()
-    evaluator = StateEvaluator(model, k_assignments=k_assignments, seed=seed)
-    evaluator.restart_clock()
-    queue = [initial]
-    seen = {initial.canonical_key}
-    evaluator.evaluate(initial)
-    index = 0
-    while index < len(queue) and len(seen) < max_states:
-        state = queue[index]
-        index += 1
-        neighbors = engine.neighbors(state)
-        evaluator.stats.max_fanout = max(evaluator.stats.max_fanout, len(neighbors))
-        for _, successor in neighbors:
-            key = successor.canonical_key
-            if key in seen:
-                continue
-            seen.add(key)
-            evaluator.evaluate(successor)
-            queue.append(successor)
-        evaluator.stats.iterations += 1
-    return finish_search(evaluator, "exhaustive", final_cap=final_cap)
+    """BFS over the whole (deduplicated) state space, up to ``max_states``."""
+    return ExhaustiveSearchTask(
+        model,
+        initial,
+        engine=engine,
+        max_states=max_states,
+        k_assignments=k_assignments,
+        seed=seed,
+        final_cap=final_cap,
+    ).run()

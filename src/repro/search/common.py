@@ -1,10 +1,19 @@
-"""Shared search infrastructure: state evaluation cache and results.
+"""Shared search infrastructure: evaluation cache, results, and tasks.
 
 Every search strategy (MCTS and the baselines) scores difftree states the
 same way — best of ``k`` sampled widget assignments under the cost model —
 so they are comparable head-to-head.  The :class:`StateEvaluator` caches
 those scores by canonical state key, and a :class:`SearchResult` records
 the winner plus a convergence history for the benchmark harness.
+
+Strategies are *resumable*: each one is packaged as a :class:`SearchTask`
+state machine (``open`` at construction → repeated :meth:`SearchTask.step`
+→ :meth:`SearchTask.result`) instead of a blocking run-to-completion
+function.  A task owns its RNG (through its evaluator) and its
+:class:`TaskClock`, which accumulates only *active* stepping time — so a
+task sliced across a multi-session scheduler consumes its ``time_budget_s``
+at the same rate as a monolithic run, and iteration-sliced runs are
+bit-for-bit identical to monolithic ones at equal totals.
 """
 
 from __future__ import annotations
@@ -26,6 +35,51 @@ from ..difftree import DTNode
 
 #: Bound of the per-state evaluation cache (entries, LRU-evicted).
 _STATE_CACHE_CAPACITY = 100_000
+
+
+class TaskClock:
+    """A pausable stopwatch measuring a task's *active* time.
+
+    A monolithic search runs with the clock live from start to finish, so
+    ``elapsed`` equals wall clock — the pre-task behavior.  A sliced task
+    pauses between :meth:`SearchTask.step` calls: time another session
+    spends on the hardware does not count against this task's
+    ``time_budget_s``.
+    """
+
+    __slots__ = ("_accumulated", "_resumed_at")
+
+    def __init__(self) -> None:
+        self._accumulated = 0.0
+        self._resumed_at: Optional[float] = time.perf_counter()
+
+    @property
+    def running(self) -> bool:
+        return self._resumed_at is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Total active seconds (live: includes the current slice)."""
+        live = (
+            time.perf_counter() - self._resumed_at
+            if self._resumed_at is not None
+            else 0.0
+        )
+        return self._accumulated + live
+
+    def resume(self) -> None:
+        if self._resumed_at is None:
+            self._resumed_at = time.perf_counter()
+
+    def pause(self) -> None:
+        if self._resumed_at is not None:
+            self._accumulated += time.perf_counter() - self._resumed_at
+            self._resumed_at = None
+
+    def restart(self) -> None:
+        """Zero the accumulator and start running."""
+        self._accumulated = 0.0
+        self._resumed_at = time.perf_counter()
 
 
 @dataclass
@@ -107,16 +161,18 @@ class StateEvaluator:
         self._exhaustive: Dict[str, int] = {}
         self.best: Optional[EvaluatedInterface] = None
         self.history: List[Tuple[float, float]] = []
-        self._clock_start = time.perf_counter()
+        #: Active-time stopwatch; a sliced task pauses it between steps
+        #: so its ``time_budget_s`` only counts this task's own work.
+        self.clock = TaskClock()
         self.stats = SearchStats()
 
     def restart_clock(self) -> None:
-        self._clock_start = time.perf_counter()
+        self.clock.restart()
         self.history = []
 
     @property
     def elapsed(self) -> float:
-        return time.perf_counter() - self._clock_start
+        return self.clock.elapsed
 
     def evaluate(self, state: DTNode) -> EvaluatedInterface:
         """Sampled cost of a state (cached; updates the incumbent)."""
@@ -201,6 +257,170 @@ def finish_search(
         elapsed=evaluator.elapsed,
         strategy=strategy,
     )
+
+
+class SearchTask:
+    """A resumable search: construct (open) → :meth:`step` → :meth:`result`.
+
+    Subclasses implement :meth:`_iterate` — one indivisible unit of work
+    (an MCTS expansion, one random walk, one hill-climbing sweep, one
+    beam level, one BFS expansion) — and the base class owns slicing,
+    budget accounting, and termination:
+
+    * ``step(n_iterations=...)`` runs at most that many units and
+      returns how many ran.  Iteration-sliced stepping is bit-for-bit
+      identical to a monolithic run at equal totals: all mutable state
+      (RNG, evaluator cache, incumbent, frontier) lives in the task, and
+      the task's :class:`TaskClock` is paused between slices so no
+      wall-clock check fires differently.
+    * ``step(slice_s=...)`` additionally bounds the slice by wall clock —
+      the preemption knob of the multi-session scheduler.  The slice
+      deadline also propagates into ``self._deadline`` so long inner
+      loops (random walks) yield mid-unit.
+    * The task is ``done`` when its strategy exhausts itself
+      (:meth:`_iterate` returns False), its ``max_iterations`` cap is
+      reached, or its active-time budget is spent.  A slice boundary
+      never marks a task done — it is a preemption, not a stop.
+
+    ``time_budget_s`` semantics: ``None`` means no time stop (strategies
+    like exhaustive search that terminate on their own); ``<= 0`` means
+    "iteration-capped only" when ``max_iterations > 0`` and "stop
+    immediately" otherwise (matching the dispatcher's validation that a
+    strategy must have *some* stop condition).
+
+    :meth:`result` may be called at any time — before completion it
+    packages the incumbent found so far (the scheduler's cancellation
+    path still gets the best interface seen).
+    """
+
+    #: Name recorded on the :class:`SearchResult` (subclasses override).
+    strategy = "task"
+
+    def __init__(
+        self,
+        evaluator: StateEvaluator,
+        time_budget_s: Optional[float] = None,
+        max_iterations: int = 0,
+        final_cap: int = 4000,
+    ) -> None:
+        self.evaluator = evaluator
+        self.time_budget_s = time_budget_s
+        self.max_iterations = max_iterations
+        self.final_cap = final_cap
+        #: Wall-clock deadline for the current slice's inner loops
+        #: (min of slice end and budget end; ``inf`` when unconstrained).
+        self._deadline = math.inf
+        self._finished = False
+        #: Units of work performed (== ``stats.iterations`` for MCTS).
+        self.units = 0
+        #: Step calls that performed at least one unit.
+        self.slices = 0
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Whether the task has terminated (stepping further is a no-op)."""
+        return self._finished
+
+    @property
+    def iterations(self) -> int:
+        """The strategy's iteration counter (drives ``max_iterations``)."""
+        return self.evaluator.stats.iterations
+
+    @property
+    def elapsed(self) -> float:
+        """Active seconds spent in this task (excludes paused gaps)."""
+        return self.evaluator.clock.elapsed
+
+    def _budget_left(self) -> float:
+        if self.time_budget_s is None:
+            return math.inf
+        if self.time_budget_s <= 0:
+            return math.inf if self.max_iterations > 0 else 0.0
+        return self.time_budget_s - self.evaluator.clock.elapsed
+
+    # -- the state machine --------------------------------------------------
+
+    def step(
+        self,
+        n_iterations: Optional[int] = None,
+        slice_s: Optional[float] = None,
+    ) -> int:
+        """Run up to ``n_iterations`` units / ``slice_s`` seconds.
+
+        Returns the number of units performed (0 once ``done``).  With no
+        arguments, runs until the task terminates on its own stop
+        conditions — the monolithic path.
+        """
+        if self._finished:
+            return 0
+        clock = self.evaluator.clock
+        clock.resume()
+        performed = 0
+        try:
+            slice_end = (
+                time.perf_counter() + slice_s if slice_s is not None else math.inf
+            )
+            while True:
+                if self.max_iterations and self.iterations >= self.max_iterations:
+                    self._finished = True
+                    break
+                budget_left = self._budget_left()
+                if budget_left <= 0:
+                    self._finished = True
+                    break
+                if n_iterations is not None and performed >= n_iterations:
+                    break
+                now = time.perf_counter()
+                # Minimum-progress guarantee: the slice deadline is only
+                # honored once at least one unit ran, so an arbitrarily
+                # small slice_s still advances the task (a scheduler
+                # re-queuing zero-progress slices would otherwise spin).
+                if performed and now >= slice_end:
+                    break
+                self._deadline = min(slice_end, now + budget_left)
+                if not self._iterate():
+                    self._finished = True
+                    break
+                performed += 1
+                self.units += 1
+        finally:
+            # The task is idle between slices: another session's work on
+            # this thread must not drain this task's time budget.
+            clock.pause()
+        if performed:
+            self.slices += 1
+        return performed
+
+    def run(self) -> "SearchResult":
+        """Monolithic convenience: step to completion and package."""
+        self.step()
+        return self.result()
+
+    def result(self) -> "SearchResult":
+        """Package the incumbent (thorough final widget pass included)."""
+        clock = self.evaluator.clock
+        was_running = clock.running
+        clock.resume()  # the final widget pass is active task work
+        try:
+            return finish_search(
+                self.evaluator, self.strategy, final_cap=self.final_cap
+            )
+        finally:
+            if not was_running:
+                clock.pause()
+
+    # -- strategy body ------------------------------------------------------
+
+    def _iterate(self) -> bool:
+        """One unit of work; False when the strategy is exhausted.
+
+        Implementations honor ``self._deadline`` in long inner loops and
+        maintain their own :class:`SearchStats` exactly as the
+        pre-refactor monolithic loops did.
+        """
+        raise NotImplementedError
 
 
 def normalized_reward(cost: float, best: float, worst: float) -> float:

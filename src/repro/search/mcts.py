@@ -35,6 +35,14 @@ The search can be *warm-started* for incremental serving
 and known-good states (e.g. the previous run's best difftree extended to
 newly appended queries) can seed the transposition table and the
 incumbent before the first iteration.
+
+The search is *resumable*: :meth:`MCTS.open` performs the setup (root,
+frontier rebuild, warm seeding) and returns an :class:`MCTSTask` whose
+``step(n_iterations=..., slice_s=...)`` runs bounded slices of the
+iteration loop — the unit the multi-session scheduler time-slices.
+:meth:`MCTS.search` is now exactly ``open`` + one unbounded ``step`` +
+``result``, so monolithic and sliced runs share every code path and are
+bit-for-bit identical at equal iteration counts.
 """
 
 from __future__ import annotations
@@ -49,7 +57,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..cost import CostModel
 from ..difftree import DTNode
 from ..rules import RuleEngine, default_engine
-from .common import SearchResult, StateEvaluator, finish_search, normalized_reward
+from .common import (
+    SearchResult,
+    SearchTask,
+    StateEvaluator,
+    normalized_reward,
+)
 
 #: The compressing (forward) rules used by the biased rollout policy.
 _FORWARD_RULES = ("Lift", "Any2All", "Optional", "Multi")
@@ -170,10 +183,18 @@ class MCTS:
 
     # -- public API ---------------------------------------------------------
 
-    def search(
+    def open(
         self, initial: DTNode, warm_states: Sequence[DTNode] = ()
-    ) -> SearchResult:
-        """Run the search from ``initial`` and return the optimized result.
+    ) -> "MCTSTask":
+        """Open a resumable search task from ``initial``.
+
+        Performs the whole pre-loop setup — root node, frontier rebuild,
+        initial evaluation, warm-state seeding — and returns the
+        :class:`MCTSTask` whose ``step()`` runs the iteration loop in
+        bounded slices.  Setup time counts against the task's budget
+        (its clock runs during this call), exactly as in a monolithic
+        run.  One MCTS instance drives one live task at a time: opening
+        again rebuilds the frontier and restarts the clock.
 
         Args:
             initial: the root state (``ANY`` over the query log).
@@ -184,9 +205,8 @@ class MCTS:
                 like any other evaluation, so warm and cold runs at the
                 same ``time_budget_s`` are directly comparable.
         """
-        config = self.config
         self.evaluator.restart_clock()
-        self._deadline = time.perf_counter() + config.time_budget_s
+        self._deadline = math.inf
 
         root_key = initial.canonical_key
         root = self.nodes.get(root_key)
@@ -205,33 +225,39 @@ class MCTS:
 
         self._seed_warm_states(root_key, warm_states)
 
-        while True:
-            if config.max_iterations and self.evaluator.stats.iterations >= config.max_iterations:
-                break
-            if time.perf_counter() >= self._deadline:
-                break
-            if not self.frontier:
-                break
-            self._iterate()
-            self.evaluator.stats.iterations += 1
+        task = MCTSTask(self)
+        # The task is idle until its first step(); budget accrues only
+        # while it actively runs.
+        self.evaluator.clock.pause()
+        return task
 
-        return finish_search(self.evaluator, "mcts", final_cap=config.final_cap)
+    def search(
+        self, initial: DTNode, warm_states: Sequence[DTNode] = ()
+    ) -> SearchResult:
+        """Monolithic convenience: ``open`` + step to completion + result."""
+        return self.open(initial, warm_states=warm_states).run()
 
     # -- internals -----------------------------------------------------------
 
     def _seed_warm_states(
         self, root_key: str, warm_states: Sequence[DTNode]
     ) -> None:
-        """Inject known-good states as direct children of the root."""
+        """Inject known-good states as direct children of the root.
+
+        At most ``warm_seed_budget_frac`` of a finite time budget may be
+        spent here (measured on the task clock, which is live during
+        ``open``); an iteration-capped run without a time budget seeds
+        every warm state — slicing must stay deterministic.
+        """
         config = self.config
-        seed_deadline = min(
-            self._deadline,
-            self._deadline
-            - config.time_budget_s * (1.0 - config.warm_seed_budget_frac),
+        seed_budget = (
+            config.time_budget_s * config.warm_seed_budget_frac
+            if config.time_budget_s > 0
+            else math.inf
         )
         primary = True
         for state in warm_states:
-            if time.perf_counter() >= seed_deadline:
+            if self.evaluator.clock.elapsed >= seed_budget:
                 break
             key = state.canonical_key
             if key == root_key:
@@ -409,6 +435,41 @@ class MCTS:
             node.visits += 1
             node.reward_sum += reward
             cursor = node.parent_key
+
+
+class MCTSTask(SearchTask):
+    """The resumable slice-driver of one opened MCTS search.
+
+    One unit of work is one full MCTS iteration (selection, expansion,
+    simulations, backpropagation) — the granularity the scheduler
+    preempts at.  All mutable search state lives on the owning
+    :class:`MCTS` instance; the task adds only slicing and budget
+    accounting (see :class:`~repro.search.common.SearchTask`), so
+    ``step(3)`` + ``step(2)`` is bit-for-bit ``step(5)``.
+    """
+
+    strategy = "mcts"
+
+    def __init__(self, search: MCTS) -> None:
+        config = search.config
+        super().__init__(
+            search.evaluator,
+            time_budget_s=config.time_budget_s,
+            max_iterations=config.max_iterations,
+            final_cap=config.final_cap,
+        )
+        self.search = search
+
+    def _iterate(self) -> bool:
+        mcts = self.search
+        if not mcts.frontier:
+            return False
+        # Inner loops (move expansion, random walks) yield at the slice
+        # deadline the base class computed for this unit.
+        mcts._deadline = self._deadline
+        mcts._iterate()
+        self.evaluator.stats.iterations += 1
+        return True
 
 
 def mcts_search(

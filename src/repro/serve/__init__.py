@@ -17,7 +17,7 @@ pipeline:
 
 from .batch import EXECUTORS, generate_interfaces_batch
 from .cache import CacheStats, InterfaceCache, PrefixMatch, context_key, log_key
-from .incremental import DEFAULT_SESSION, IncrementalGenerator
+from .incremental import DEFAULT_SESSION, IncrementalGenerator, PendingSearch
 from .stream import LogStream, SessionRouter
 
 __all__ = [
@@ -29,6 +29,7 @@ __all__ = [
     "log_key",
     "context_key",
     "IncrementalGenerator",
+    "PendingSearch",
     "DEFAULT_SESSION",
     "generate_interfaces_batch",
     "EXECUTORS",

@@ -32,10 +32,20 @@ recompiled — correctness never depends on the carry.
 Warm seeding spends the same per-evaluation budget as search, so warm
 and cold runs at equal ``time_budget_s`` are directly comparable — the
 contract the incremental benchmark checks.
+
+Generation is *resumable*: :meth:`IncrementalGenerator.open_search`
+builds the full warm-started machinery (cache probe, extended warm
+states, adopted compiled sequences, opened MCTS task) without running
+the search, returning a :class:`PendingSearch` whose ``task`` the
+multi-session scheduler steps in slices and whose ``finish()`` performs
+the same elite/sequence harvest and cache insertion as a monolithic
+:meth:`IncrementalGenerator.generate` call — which is itself implemented
+as open → run → finish.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -50,7 +60,7 @@ from ..difftree import DTNode, extend_difftree
 from ..layout import Screen
 from ..registry import strategy_spec
 from ..rules import RuleEngine
-from ..search.mcts import MCTS
+from ..search.mcts import MCTS, MCTSTask
 from .cache import InterfaceCache, context_key
 from .stream import QueryLike, SessionRouter
 
@@ -69,6 +79,94 @@ class _SessionState:
     #: run's winner/elites; the next run's cost model extends these so
     #: appended queries only diff the new pairs.
     sequences: Dict[str, CompiledSequence] = field(default_factory=dict)
+
+
+class PendingSearch:
+    """One opened (but not yet finished) search for a session's log.
+
+    Produced by :meth:`IncrementalGenerator.open_search`.  Either the
+    cache already had the answer (``cached`` is set, ``task`` is None)
+    or ``task`` is an opened, warm-started
+    :class:`~repro.search.mcts.MCTSTask` the caller steps — in slices
+    (the scheduler) or to completion (``task.step()``) — before calling
+    :meth:`finish` exactly once to harvest elites/compiled sequences,
+    insert the cache entry, and update the session's warm-start carry.
+    """
+
+    def __init__(
+        self,
+        service: "IncrementalGenerator",
+        session_id: str,
+        cached: Optional[GeneratedInterface] = None,
+        task: Optional[MCTSTask] = None,
+        mcts: Optional[MCTS] = None,
+        key: str = "",
+        query_keys: Tuple[str, ...] = (),
+        asts: Tuple = (),
+        screen: Optional[Screen] = None,
+        initial: Optional[DTNode] = None,
+        state: Optional[_SessionState] = None,
+    ) -> None:
+        self._service = service
+        self.session_id = session_id
+        self.cached = cached
+        self.task = task
+        self._mcts = mcts
+        self._key = key
+        self._query_keys = query_keys
+        self._asts = asts
+        self._screen = screen
+        self._initial = initial
+        self._state = state
+        self._finished = False
+
+    @property
+    def log_size(self) -> int:
+        """How many queries the pending interface will express."""
+        if self.cached is not None:
+            return len(self.cached.queries)
+        return len(self._asts)
+
+    def finish(self) -> GeneratedInterface:
+        """Package the search outcome and commit the session carry.
+
+        Idempotent-guarded: a pending search is finished once.  Callable
+        before the task is ``done`` too — cancellation still commits the
+        best interface found so far.
+        """
+        if self.cached is not None:
+            return self.cached
+        if self._finished:
+            raise RuntimeError("PendingSearch.finish() called twice")
+        self._finished = True
+        service = self._service
+        search_result = self.task.result()
+        elite = service._elite_states(
+            self._mcts, self._initial, search_result.best_state
+        )
+        result = GeneratedInterface(
+            queries=list(self._asts),
+            screen=self._screen,
+            search=search_result,
+            best=search_result.best,
+        )
+        model = self._mcts.model
+        state = self._state
+        with service._lock:
+            state.sequences = service._harvest_sequences(
+                model, (search_result.best_state,) + elite
+            )
+            service.searches_run += 1
+            state.log_len = len(self._asts)
+            state.best = result.difftree
+            state.elite = elite
+        # Bound the cache tags to the snapshot taken at open time: a
+        # concurrent append during the search must not tag this entry
+        # with queries the generated interface never saw.
+        service.cache.put(
+            self._key, result, query_keys=self._query_keys, ctx=service._ctx
+        )
+        return result
 
 
 class IncrementalGenerator:
@@ -116,6 +214,10 @@ class IncrementalGenerator:
         self.warm_top_k = warm_top_k
         self._sessions: Dict[str, _SessionState] = {}
         self._ctx = context_key(self.screen, self.config)
+        #: Guards the per-session carry table and counters — scheduler
+        #: workers open/finish searches for different sessions
+        #: concurrently.  Searches themselves run outside the lock.
+        self._lock = threading.Lock()
         #: How many actual searches this generator has run (cache hits
         #: don't count — the zero-new-iterations contract).
         self.searches_run = 0
@@ -132,41 +234,77 @@ class IncrementalGenerator:
     def drop_session(self, session_id: str = DEFAULT_SESSION) -> bool:
         """Forget a session's stream and warm-start carry; True if it existed."""
         existed = self.router.drop(session_id)
-        return (self._sessions.pop(session_id, None) is not None) or existed
+        with self._lock:
+            carried = self._sessions.pop(session_id, None) is not None
+        return carried or existed
 
     # -- generation ---------------------------------------------------------
 
-    def generate(self, session_id: str = DEFAULT_SESSION) -> GeneratedInterface:
-        """Interface for the session's current log (cached/warm-started)."""
+    def open_search(self, session_id: str = DEFAULT_SESSION) -> PendingSearch:
+        """Open a resumable, warm-started search for the session's log.
+
+        Probes the exact cache first (a hit returns a completed
+        :class:`PendingSearch` with ``cached`` set and no task); on a
+        miss, extends the session's prior best/elite states to the grown
+        log, adopts its carried compiled sequences into a fresh cost
+        model, and opens the MCTS task — warm seeding included — without
+        running a single search iteration.  The caller steps
+        ``pending.task`` and then calls ``pending.finish()``.
+        """
         stream = self.router.stream(session_id)
         asts = stream.asts()
         if not asts:
             raise ValueError(f"session {session_id!r} has an empty log")
 
         key = InterfaceCache.key_for(asts, self.screen, self.config)
-        state = self._sessions.setdefault(session_id, _SessionState())
+        with self._lock:
+            state = self._sessions.setdefault(session_id, _SessionState())
         cached = self.cache.get(key)
         if cached is not None:
-            state.log_len = len(asts)
-            state.best = cached.difftree
-            # Elite states describe an older log and would be extended
-            # from the wrong offset on the next append — drop them.
-            state.elite = ()
-            return cached
+            with self._lock:
+                state.log_len = len(asts)
+                state.best = cached.difftree
+                # Elite states describe an older log and would be extended
+                # from the wrong offset on the next append — drop them.
+                state.elite = ()
+            return PendingSearch(self, session_id, cached=cached)
 
         warm = self._warm_states(state, stream, asts)
-        result, elite = self._search(asts, warm, state)
-        self.searches_run += 1
-        # Bound the key reads to the snapshot taken above: a concurrent
-        # append during the search must not tag this entry with queries
-        # the generated interface never saw.
-        self.cache.put(
-            key, result, query_keys=stream.query_keys(end=len(asts)), ctx=self._ctx
+        query_keys = stream.query_keys(end=len(asts))
+        asts, screen, model, initial, engine = prepare_search(
+            asts, screen=self.screen, config=self.config, engine=self.engine
         )
-        state.log_len = len(asts)
-        state.best = result.difftree
-        state.elite = elite
-        return result
+        # Prior-run compiled sequences: warm states that graft into the
+        # same difftree reuse their assignments and changed-choice sets,
+        # paying matcher/diff cost only for the appended query pairs.
+        if state.sequences:
+            model.adopt_sequences(state.sequences)
+        mcts = MCTS(model, engine=engine, config=as_mcts_config(self.config))
+        task = mcts.open(initial, warm_states=warm)
+        return PendingSearch(
+            self,
+            session_id,
+            task=task,
+            mcts=mcts,
+            key=key,
+            query_keys=query_keys,
+            asts=tuple(asts),
+            screen=screen,
+            initial=initial,
+            state=state,
+        )
+
+    def generate(self, session_id: str = DEFAULT_SESSION) -> GeneratedInterface:
+        """Interface for the session's current log (cached/warm-started).
+
+        The monolithic convenience over :meth:`open_search`: run the
+        opened task to completion in one slice and finish.
+        """
+        pending = self.open_search(session_id)
+        if pending.cached is not None:
+            return pending.cached
+        pending.task.step()
+        return pending.finish()
 
     # -- internals -----------------------------------------------------------
 
@@ -192,31 +330,6 @@ class IncrementalGenerator:
             if match is not None:
                 add(extend_difftree(match.result.difftree, asts[match.matched :]))
         return warm
-
-    def _search(
-        self, asts, warm: List[DTNode], state: _SessionState
-    ) -> Tuple[GeneratedInterface, Tuple[DTNode, ...]]:
-        asts, screen, model, initial, engine = prepare_search(
-            asts, screen=self.screen, config=self.config, engine=self.engine
-        )
-        # Prior-run compiled sequences: warm states that graft into the
-        # same difftree reuse their assignments and changed-choice sets,
-        # paying matcher/diff cost only for the appended query pairs.
-        if state.sequences:
-            model.adopt_sequences(state.sequences)
-        mcts = MCTS(model, engine=engine, config=as_mcts_config(self.config))
-        search_result = mcts.search(initial, warm_states=warm)
-        elite = self._elite_states(mcts, initial, search_result.best_state)
-        state.sequences = self._harvest_sequences(
-            model, (search_result.best_state,) + elite
-        )
-        result = GeneratedInterface(
-            queries=list(asts),
-            screen=screen,
-            search=search_result,
-            best=search_result.best,
-        )
-        return result, elite
 
     def _harvest_sequences(
         self, model, trees: Tuple[DTNode, ...]

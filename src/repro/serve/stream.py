@@ -52,23 +52,35 @@ class LogStream:
         return len(self._asts)
 
     def append(self, *queries: QueryLike) -> int:
-        """Ingest queries (SQL text or pre-parsed ASTs); returns the new length."""
+        """Ingest queries (SQL text or pre-parsed ASTs); returns the new length.
+
+        Atomic: every query is parsed and keyed before any is committed,
+        so a parse error mid-batch leaves the log unchanged instead of
+        permanently ingesting the batch's leading queries.
+        """
+        staged = []
         for query in queries:
             if isinstance(query, Node):
                 ast = query
+                parsed_fresh = False
             elif isinstance(query, str):
                 ast = self._parse_cache.get(query)
-                if ast is None:
+                parsed_fresh = ast is None
+                if parsed_fresh:
                     ast = parse(query)
                     self._parse_cache[query] = ast
+            else:
+                raise TypeError(f"query must be SQL text or AST, got {type(query)}")
+            staged.append((query, ast, parsed_fresh, wrap_ast(ast).canonical_key))
+        for query, ast, parsed_fresh, key in staged:
+            if isinstance(query, str):
+                if parsed_fresh:
                     self.parses += 1
                 else:
                     self.parse_hits += 1
-            else:
-                raise TypeError(f"query must be SQL text or AST, got {type(query)}")
             self._sql.append(query if isinstance(query, str) else "")
             self._asts.append(ast)
-            self._query_keys.append(wrap_ast(ast).canonical_key)
+            self._query_keys.append(key)
         return len(self._asts)
 
     def asts(self, end: Optional[int] = None) -> Tuple[Node, ...]:
@@ -84,6 +96,22 @@ class LogStream:
         return tuple(
             self._query_keys[: len(self._query_keys) if end is None else end]
         )
+
+    def truncate(self, length: int) -> int:
+        """Roll the log back to its first ``length`` queries.
+
+        The scheduler's undo for a chunk whose interface was never
+        delivered (cancelled or failed script): appended-but-unserved
+        queries must not pollute the session's log.  Returns the new
+        length; a ``length`` at or beyond the current end is a no-op.
+        """
+        if length < 0:
+            raise ValueError(f"length must be >= 0, got {length}")
+        if length < len(self._asts):
+            del self._sql[length:]
+            del self._asts[length:]
+            del self._query_keys[length:]
+        return len(self._asts)
 
 
 class _Shard:
@@ -151,6 +179,15 @@ class SessionRouter:
             with shard.lock:
                 out.extend(shard.streams)
         return out
+
+    def truncate(self, session_id: str, length: int) -> int:
+        """Roll a session's log back to ``length`` queries (0 if absent)."""
+        shard = self._shards[self.shard_of(session_id)]
+        with shard.lock:
+            stream = shard.streams.get(session_id)
+            if stream is None:
+                return 0
+            return stream.truncate(length)
 
     def drop(self, session_id: str) -> bool:
         """Forget a session's stream; returns whether it existed."""
