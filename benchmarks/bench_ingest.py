@@ -1,0 +1,260 @@
+"""BENCH-INGEST: hash-consed ingestion vs the un-interned reference path.
+
+The ingest claim (ISSUE 5 / structural interning): real session logs are
+highly repetitive — mostly template-equal queries differing in literals —
+so ingestion cost should track *distinct structure*, not raw log length.
+With hash-consed AST/difftree nodes, memoized ``parse`` / ``wrap_ast`` /
+``expresses`` / ``anti_unify`` / ``graft``, and fingerprint-based cache
+keys, re-ingesting a repeated query is a handful of dict lookups instead
+of a parse + tree rebuild + matcher run + full-log re-key.
+
+Both sides run the same per-append serving pipeline — append to a
+:class:`LogStream`, extend the difftree, recompute the interface-cache
+key — once with the memo fast paths enabled and once with them disabled
+(:func:`repro.memo.fast_paths`), which recomputes everything from
+scratch the way the pre-interning code did.  Results must be bit-for-bit
+identical: same final difftree canonical key, and identical interface
+cost from a seed-fixed search over the ingested log in both modes.
+
+Standalone script (CI smoke target), runnable without pytest:
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py \
+        --distinct 12 --repeat 25 --iterations 8 \
+        --json BENCH_ingest.json --strict
+
+With ``--strict`` the script exits non-zero unless, for every workload:
+fast-path ingest throughput >= 5x the reference path, the final difftree
+canonical keys match, and the seed-fixed interface costs match exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro import Engine, GenerationConfig
+from repro import memo
+from repro.difftree import extend_difftree, initial_difftree
+from repro.engine import get_workload, workload_names
+from repro.layout import Screen
+from repro.serve import InterfaceCache, LogStream
+import repro.workloads  # noqa: F401  (registers the built-in workloads)
+
+
+def growing_workloads() -> tuple:
+    """Registered growing-log session generators (sdss, tpch, ...)."""
+    return workload_names(tag="growing")
+
+
+def repetitive_log(workload: str, distinct: int, repeat: int, seed: int) -> List[str]:
+    """A growing log that revisits ``distinct`` session queries ``repeat`` times.
+
+    The session generators already revisit a small palette of values;
+    cycling the generated block models the analyst re-running their
+    recent history — the dominant pattern hash-consed ingestion targets.
+    """
+    base = get_workload(workload)(distinct, seed=seed)
+    log: List[str] = []
+    for _ in range(repeat):
+        log.extend(base)
+    return log
+
+
+def ingest(
+    log: List[str], screen: Screen, config: GenerationConfig, fast: bool
+) -> Dict[str, object]:
+    """Run the per-append serving ingest pipeline in one memo mode.
+
+    Each append does exactly what a serving session does per query:
+    ingest the text (parse/dedup tiers), extend the difftree to express
+    it, and recompute the interface-cache key of the grown log.
+    """
+    with memo.fast_paths(fast):
+        memo.clear_memo_caches()  # both modes start cold
+        stream = LogStream()
+        asts = []
+        tree = None
+        t0 = time.perf_counter()
+        for sql in log:
+            stream.append(sql)
+            ast = stream.ast(-1)
+            asts.append(ast)
+            if tree is None:
+                tree = initial_difftree([ast])
+            else:
+                tree = extend_difftree(tree, [ast])
+            key = InterfaceCache.key_for(asts, screen, config)
+        elapsed = time.perf_counter() - t0
+    return {
+        "elapsed_s": elapsed,
+        "qps": len(log) / elapsed if elapsed > 0 else float("inf"),
+        "tree_key": tree.canonical_key,
+        "cache_key": key,
+        "parses": stream.parses,
+        "parse_hits": stream.parse_hits,
+    }
+
+
+def interface_cost(
+    log: List[str], screen: Screen, config: GenerationConfig, fast: bool
+) -> float:
+    """Seed-fixed interface cost over the ingested log in one memo mode."""
+    with memo.fast_paths(fast):
+        memo.clear_memo_caches()
+        engine = Engine(screen=screen, config=config)
+        return engine.generate(log).cost
+
+
+def run(
+    workload: str,
+    distinct: int,
+    repeat: int,
+    iterations: int,
+    final_cap: int,
+    seed: int,
+) -> dict:
+    """Compare fast-path vs reference ingestion on one workload."""
+    screen = Screen.wide()
+    config = GenerationConfig(
+        time_budget_s=0.0,  # iteration-capped: equal work, deterministic
+        max_iterations=iterations,
+        seed=seed,
+        final_cap=final_cap,
+    )
+    log = repetitive_log(workload, distinct, repeat, seed)
+
+    counters_before = memo.INGEST.snapshot()
+    reference = ingest(log, screen, config, fast=False)
+    fast = ingest(log, screen, config, fast=True)
+    counters_after = memo.INGEST.snapshot()
+
+    cost_ref = interface_cost(log, screen, config, fast=False)
+    cost_fast = interface_cost(log, screen, config, fast=True)
+
+    speedup = fast["qps"] / reference["qps"] if reference["qps"] > 0 else None
+    return {
+        "workload": workload,
+        "appends": len(log),
+        "distinct": distinct,
+        "repeat": repeat,
+        "iterations": iterations,
+        "final_cap": final_cap,
+        "seed": seed,
+        "reference": {k: round(v, 4) if isinstance(v, float) else v
+                      for k, v in reference.items()},
+        "fast": {k: round(v, 4) if isinstance(v, float) else v
+                 for k, v in fast.items()},
+        "speedup": round(speedup, 2) if speedup is not None else None,
+        "tree_parity": fast["tree_key"] == reference["tree_key"],
+        "cost_reference": round(cost_ref, 6),
+        "cost_fast": round(cost_fast, 6),
+        "cost_parity": cost_ref == cost_fast,
+        "ingest_counters": {
+            key: counters_after[key] - counters_before[key]
+            for key in counters_after
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--distinct", type=int, default=12,
+        help="distinct session queries per workload (before repetition)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=25,
+        help="how many times the session block repeats in the growing log",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=8,
+        help="search iterations for the cost-parity check",
+    )
+    parser.add_argument(
+        "--final-cap", type=int, default=200,
+        help="widget-enumeration cap of the final phase (parity check)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload/search seed")
+    parser.add_argument(
+        "--workload",
+        choices=growing_workloads(),
+        action="append",
+        help="growing-log scenario(s); default: all registered",
+    )
+    parser.add_argument("--json", metavar="PATH", help="write machine-readable results")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero unless speedup >= 5x with tree and cost parity",
+    )
+    args = parser.parse_args(argv)
+    if min(args.distinct, args.repeat, args.iterations) < 1:
+        parser.error("--distinct/--repeat/--iterations must be >= 1")
+    workloads = args.workload or list(growing_workloads())
+
+    results = []
+    for workload in workloads:
+        results.append(
+            run(
+                workload,
+                args.distinct,
+                args.repeat,
+                args.iterations,
+                args.final_cap,
+                args.seed,
+            )
+        )
+
+    print(
+        f"\n=== BENCH-INGEST — hash-consed vs reference ingestion, "
+        f"{args.distinct} distinct x {args.repeat} repeats ==="
+    )
+    header = (
+        f"{'workload':>10}  {'appends':>7}  {'ref q/s':>9}  {'fast q/s':>9}  "
+        f"{'speedup':>8}  {'tree':>5}  {'cost':>5}"
+    )
+    print(header)
+    print("-" * len(header))
+    for result in results:
+        print(
+            f"{result['workload']:>10}  {result['appends']:>7}  "
+            f"{result['reference']['qps']:>9.0f}  {result['fast']['qps']:>9.0f}  "
+            f"{result['speedup']:>7.1f}x  "
+            f"{'OK' if result['tree_parity'] else 'FAIL':>5}  "
+            f"{'OK' if result['cost_parity'] else 'FAIL':>5}"
+        )
+
+    payload = {
+        "bench": "ingest",
+        "api": "serve.LogStream + difftree.extend_difftree + InterfaceCache.key_for",
+        "results": results,
+    }
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    if args.strict:
+        failed = [
+            r["workload"]
+            for r in results
+            if not r["tree_parity"]
+            or not r["cost_parity"]
+            or r["speedup"] is None
+            or r["speedup"] < 5.0
+        ]
+        if failed:
+            print(
+                f"STRICT: acceptance criteria not met for {failed} "
+                f"(need tree+cost parity and >= 5x ingest throughput)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

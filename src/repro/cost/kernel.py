@@ -48,13 +48,13 @@ Bitwise-parity invariant
 from __future__ import annotations
 
 import math
-import threading
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..difftree import DTNode, Path, assignment_for
 from ..difftree.express import Assignment, CompiledChanges, changed_choice_sets
 from ..layout.boxes import BOX_GAP, BOX_PADDING, HEADER_HEIGHT, TITLE_HEIGHT, Screen
+from ..memo import BoundedLRU
 from ..sqlast import nodes as N
 from ..widgets.domain import ChoiceDomain
 from ..widgets.library import SIZE_CLASSES, widget_type
@@ -68,6 +68,15 @@ from ..widgets.tree import (
     decision_schema,
     derive_widget_tree,
 )
+
+__all__ = [
+    "BoundedLRU",  # re-exported from repro.memo (historical home)
+    "CompiledSequence",
+    "CostBreakdown",
+    "CostKernel",
+    "CostWeights",
+    "KernelStats",
+]
 
 
 @dataclass(frozen=True)
@@ -140,66 +149,8 @@ class KernelStats:
     fallback_evals: int = 0
 
 
-class BoundedLRU:
-    """A small dict with least-recently-used eviction.
-
-    Replaces the wholesale ``.clear()`` eviction previously used by the
-    evaluation caches: long serving sessions evict one cold entry at a
-    time instead of dropping the incumbent's cached entries all at once.
-    Reads refresh recency (Python dicts preserve insertion order, so the
-    oldest entry is the first key).
-
-    Thread-safe (like :class:`repro.serve.cache.InterfaceCache`): the
-    recency-refresh on ``get`` and the evicting ``__setitem__`` are
-    pop-then-reinsert sequences that corrupt the dict if interleaved, so
-    every operation holds the lock — evaluators and cost models shared
-    across the concurrent session scheduler's workers stay consistent.
-    ``values()``/``items()`` return point-in-time snapshots (callers
-    iterate without holding the lock).
-    """
-
-    __slots__ = ("capacity", "evictions", "_data", "_lock")
-
-    def __init__(self, capacity: int) -> None:
-        if capacity < 1:
-            raise ValueError("LRU capacity must be >= 1")
-        self.capacity = capacity
-        self.evictions = 0
-        self._data: Dict[Any, Any] = {}
-        self._lock = threading.Lock()
-
-    def get(self, key: Any, default: Any = None) -> Any:
-        with self._lock:
-            if key not in self._data:
-                return default
-            value = self._data.pop(key)
-            self._data[key] = value
-            return value
-
-    def __setitem__(self, key: Any, value: Any) -> None:
-        with self._lock:
-            if key in self._data:
-                del self._data[key]
-            self._data[key] = value
-            while len(self._data) > self.capacity:
-                del self._data[next(iter(self._data))]
-                self.evictions += 1
-
-    def __contains__(self, key: Any) -> bool:
-        with self._lock:
-            return key in self._data
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._data)
-
-    def values(self):
-        with self._lock:
-            return list(self._data.values())
-
-    def items(self):
-        with self._lock:
-            return list(self._data.items())
+# BoundedLRU moved to repro.memo (shared with the ingest memo tables);
+# re-exported above for its historical importers.
 
 
 # -- Level 1: the compiled query sequence ---------------------------------------
@@ -263,6 +214,9 @@ class CompiledSequence:
         compiled for (the caller checks canonical keys): existing
         assignments and pair sets are reused verbatim; the appended
         queries are matched and the boundary + appended pairs diffed.
+        Matching goes through the fingerprint-memoized
+        :func:`~repro.difftree.assignment_for`, so appending a query
+        shape this difftree has matched before re-walks nothing.
         """
         if not new_queries:
             return self

@@ -18,15 +18,29 @@ whole optimized structure to one alternative among raw queries.
 from __future__ import annotations
 
 from functools import reduce
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
+from .. import memo as _memo
+from ..memo import INGEST
 from .dtnodes import ALL, ANY, EMPTY, MULTI, OPT, DTNode, any_node, multi_node, opt_node
 from .normalize import normalize
 
+#: ``(a, b) -> _au(a, b)`` over interned subtree pairs.  Repeated template
+#: collisions (the dominant pattern in real logs) become O(1) lookups.
+_AU_MEMO = _memo.memo_table(8192)
+
+#: ``(tree, query) -> graft(tree, query)`` for whole-merge reuse.
+_GRAFT_MEMO = _memo.memo_table(8192)
+
 
 def anti_unify(a: DTNode, b: DTNode) -> DTNode:
-    """Least-general generalization of two difftree subtrees."""
+    """Least-general generalization of two difftree subtrees (memoized)."""
     return normalize(_au(a, b))
+
+
+def anti_unify_reference(a: DTNode, b: DTNode) -> DTNode:
+    """Unmemoized :func:`anti_unify` (parity oracle for tests/benchmarks)."""
+    return normalize(_au_reference(a, b))
 
 
 def anti_unify_all(subtrees: Sequence[DTNode]) -> DTNode:
@@ -39,13 +53,35 @@ def anti_unify_all(subtrees: Sequence[DTNode]) -> DTNode:
 def _au(a: DTNode, b: DTNode) -> DTNode:
     if a == b:
         return a
+    if _memo.fast_paths_enabled():
+        cached = _AU_MEMO.get((a, b))
+        if cached is not None:
+            INGEST.au_memo_hits += 1
+            return cached
+        result = _au_impl(a, b, _au)
+        _AU_MEMO[(a, b)] = result
+        return result
+    return _au_impl(a, b, _au)
+
+
+def _au_reference(a: DTNode, b: DTNode) -> DTNode:
+    if a == b:
+        return a
+    return _au_impl(a, b, _au_reference)
+
+
+def _au_impl(
+    a: DTNode, b: DTNode, au: Callable[[DTNode, DTNode], DTNode]
+) -> DTNode:
+    """One anti-unification step; recursion goes through ``au`` so the
+    memoized entry point and the reference share one body."""
     if (
         a.kind == ALL
         and b.kind == ALL
         and a.head == b.head
         and len(a.children) == len(b.children)
     ):
-        children = tuple(_au(x, y) for x, y in zip(a.children, b.children))
+        children = tuple(au(x, y) for x, y in zip(a.children, b.children))
         return DTNode(ALL, a.label, a.value, children)
     # Heads differ (including same label, different leaf value) or arity
     # differs: fall back to an explicit choice between the two subtrees.
@@ -73,7 +109,19 @@ def graft(tree: DTNode, query: DTNode) -> DTNode:
     Callers that must guarantee expressibility (``extend_difftree``)
     verify the result and fall back to :func:`anti_unify`; grafting
     through ``MULTI`` repetition runs is intentionally approximate.
+
+    Memoized on the interned ``(tree, query)`` pair — a session
+    re-grafting a familiar query shape into the same optimized tree
+    reuses the merge wholesale.
     """
+    if _memo.fast_paths_enabled():
+        cached = _GRAFT_MEMO.get((tree, query))
+        if cached is not None:
+            INGEST.graft_memo_hits += 1
+            return cached
+        result = normalize(_graft(tree, query))
+        _GRAFT_MEMO[(tree, query)] = result
+        return result
     return normalize(_graft(tree, query))
 
 

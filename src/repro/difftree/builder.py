@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import List, Sequence, Union
 
+from ..memo import INGEST
 from ..sqlast import nodes as N
 from ..sqlast.parser import parse
 from .antiunify import anti_unify, graft
@@ -72,6 +73,7 @@ def extend_difftree(tree: DTNode, new_queries: Sequence[QueryLike]) -> DTNode:
     current = tree
     for ast in as_asts(new_queries):
         if expresses(current, ast):
+            INGEST.dedup_skipped_appends += 1
             continue
         wrapped = wrap_ast(ast)
         merged = graft(current, wrapped)

@@ -19,13 +19,24 @@ caches a *canonical key* — a deterministic structural fingerprint used for
 state deduplication in the search transposition table (Python's built-in
 ``hash`` is randomized per process, so it cannot identify states across
 runs).
+
+Like AST nodes, difftree nodes are **hash-consed**: constructing a node
+whose ``(kind, label, value, children)`` matches a live instance returns
+that instance, so structural equality is usually one identity check and
+every pure function over trees (``normalize``, ``anti_unify``, ``graft``,
+``expresses``) can memoize on node identity.  The md5 canonical key is
+computed lazily on first use — interning shares it across every context
+that reaches the same subtree.
 """
 
 from __future__ import annotations
 
 import hashlib
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary, WeakValueDictionary
 
+from .. import memo as _memo
+from ..memo import INGEST
 from ..sqlast import nodes as N
 from ..sqlast.align import STRUCTURAL_VALUE_LABELS
 
@@ -40,6 +51,14 @@ CHOICE_KINDS = frozenset({ANY, OPT, MULTI})
 #: A path into a difftree: tuple of child indices from the root.
 Path = Tuple[int, ...]
 
+#: The hash-consing table: ``(kind, label, value, children) -> live DTNode``.
+_INTERN: "WeakValueDictionary[Tuple, DTNode]" = WeakValueDictionary()
+
+
+def interned_dtnode_count() -> int:
+    """How many distinct difftree subtrees are currently interned."""
+    return len(_INTERN)
+
 
 class DTNode:
     """One immutable difftree node.
@@ -53,16 +72,31 @@ class DTNode:
             alternative.
     """
 
-    __slots__ = ("kind", "label", "value", "children", "_key", "_hash", "_size")
+    __slots__ = (
+        "kind",
+        "label",
+        "value",
+        "children",
+        "_key",
+        "_hash",
+        "_size",
+        "_norm",
+        "__weakref__",
+    )
 
-    def __init__(
-        self,
+    def __new__(
+        cls,
         kind: str,
         label: Optional[str] = None,
         value: Any = None,
         children: Sequence["DTNode"] = (),
-    ) -> None:
+    ) -> "DTNode":
         children = tuple(children)
+        key = (kind, label, value, children)
+        cached = _INTERN.get(key)
+        if cached is not None:
+            INGEST.dtnode_intern_hits += 1
+            return cached
         if kind == ALL:
             if label is None:
                 raise ValueError("ALL node requires a label")
@@ -81,20 +115,22 @@ class DTNode:
                 raise ValueError("ANY node carries no label/value")
         else:
             raise ValueError(f"unknown difftree kind {kind!r}")
+        self = object.__new__(cls)
         object.__setattr__(self, "kind", kind)
         object.__setattr__(self, "label", label)
         object.__setattr__(self, "value", value)
         object.__setattr__(self, "children", children)
-        # Deterministic structural fingerprint.  Child keys are digests, so
-        # the hashed text stays O(fanout) per node instead of O(subtree) —
-        # building a tree of n nodes costs O(n), not O(n²).
-        text = "{}:{}:{!r}({})".format(
-            kind, label or "", value, ",".join(c._key for c in children)
-        )
-        key = hashlib.md5(text.encode("utf-8")).hexdigest()
-        object.__setattr__(self, "_key", key)
+        # Process-local structural fingerprint: child hashes are cached
+        # ints, so hashing stays O(fanout) per node.  The deterministic
+        # md5 canonical key (stable across processes) is computed lazily
+        # on first use — see :attr:`canonical_key`.
+        object.__setattr__(self, "_key", None)
         object.__setattr__(self, "_hash", hash(key))
         object.__setattr__(self, "_size", 1 + sum(c._size for c in children))
+        # Memoized normalize() result (None = not yet normalized).
+        object.__setattr__(self, "_norm", None)
+        _INTERN[key] = self
+        return self
 
     # -- immutability / identity ---------------------------------------------
 
@@ -111,20 +147,52 @@ class DTNode:
         return (DTNode, (self.kind, self.label, self.value, self.children))
 
     def __eq__(self, other: object) -> bool:
+        # Interning makes the identity check decide almost every
+        # comparison; the structural fallback only runs for the rare
+        # un-interned twin (e.g. built concurrently on another thread).
         if self is other:
             return True
         if not isinstance(other, DTNode):
             return NotImplemented
-        return self._key == other._key
+        if self._hash != other._hash:
+            return False
+        return (
+            self.kind == other.kind
+            and self.label == other.label
+            and self.value == other.value
+            and self.children == other.children
+        )
 
     def __ne__(self, other: object) -> bool:
         result = self.__eq__(other)
         return result if result is NotImplemented else not result
 
     @property
+    def fingerprint(self) -> int:
+        """Cached structural fingerprint (process-local; O(1) equality)."""
+        return self._hash
+
+    @property
     def canonical_key(self) -> str:
-        """Deterministic structural fingerprint (stable across processes)."""
-        return self._key
+        """Deterministic structural fingerprint (stable across processes).
+
+        Computed lazily on first access and cached on the interned node,
+        so the md5 cost is paid once per *distinct* subtree per process.
+        The digest text is identical to the historical eager computation,
+        so keys (and everything keyed by them — the interface cache, the
+        MCTS transposition table) are unchanged.
+        """
+        key = self._key
+        if key is None:
+            text = "{}:{}:{!r}({})".format(
+                self.kind,
+                self.label or "",
+                self.value,
+                ",".join(c.canonical_key for c in self.children),
+            )
+            key = hashlib.md5(text.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_key", key)
+        return key
 
     def __repr__(self) -> str:
         if self.kind == ALL:
@@ -217,9 +285,24 @@ def multi_node(child: DTNode) -> DTNode:
     return DTNode(MULTI, None, None, (child,))
 
 
+#: ``interned AST node -> its pure-ALL difftree`` (weak keys: dies with
+#: the AST).  Interned ASTs make this a structural memo.
+_WRAP_MEMO: "WeakKeyDictionary[N.Node, DTNode]" = WeakKeyDictionary()
+_memo.register_cache(_WRAP_MEMO.clear)
+
+
 def wrap_ast(ast: N.Node) -> DTNode:
-    """Embed a concrete AST as a pure-``ALL`` difftree."""
-    return DTNode(ALL, ast.label, ast.value, tuple(wrap_ast(c) for c in ast.children))
+    """Embed a concrete AST as a pure-``ALL`` difftree (memoized)."""
+    fast = _memo.fast_paths_enabled()
+    if fast:
+        cached = _WRAP_MEMO.get(ast)
+        if cached is not None:
+            INGEST.wrap_memo_hits += 1
+            return cached
+    node = DTNode(ALL, ast.label, ast.value, tuple(wrap_ast(c) for c in ast.children))
+    if fast:
+        _WRAP_MEMO[ast] = node
+    return node
 
 
 def unwrap_ast(node: DTNode) -> N.Node:

@@ -20,6 +20,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
+from .. import memo as _memo
+from ..memo import INGEST
 from ..sqlast import nodes as N
 from .dtnodes import ALL, ANY, EMPTY, MULTI, OPT, DTNode, Path
 
@@ -142,9 +144,16 @@ class Matcher:
             self._fail.add(key)
 
 
+#: ``(difftree, ast) -> frozen assignment items`` (or None when the tree
+#: cannot express the query).  Interned nodes make the key a fingerprint
+#: pair; the bounded table holds strong refs, so capacity bounds memory.
+_ASSIGN_MEMO = _memo.memo_table(16384)
+_ASSIGN_MISS = object()
+
+
 def expresses(tree: DTNode, ast: N.Node) -> bool:
-    """True if the difftree can express the query AST."""
-    return Matcher(tree, ast).matches()
+    """True if the difftree can express the query AST (memoized)."""
+    return assignment_for(tree, ast) is not None
 
 
 def expresses_all(tree: DTNode, asts: Sequence[N.Node]) -> bool:
@@ -153,7 +162,23 @@ def expresses_all(tree: DTNode, asts: Sequence[N.Node]) -> bool:
 
 
 def assignment_for(tree: DTNode, ast: N.Node) -> Optional[Assignment]:
-    """The canonical widget-state assignment expressing ``ast``, or None."""
+    """The canonical widget-state assignment expressing ``ast``, or None.
+
+    Memoized on the interned ``(tree, ast)`` pair: re-serving a repeated
+    query against the same difftree skips the matcher entirely.  Each
+    hit returns a *fresh* dict (assignments are mutable), rebuilt from
+    the frozen cached items in their canonical order.
+    """
+    if _memo.fast_paths_enabled():
+        cached = _ASSIGN_MEMO.get((tree, ast), _ASSIGN_MISS)
+        if cached is not _ASSIGN_MISS:
+            INGEST.express_memo_hits += 1
+            return None if cached is None else dict(cached)
+        result = Matcher(tree, ast).first_assignment()
+        _ASSIGN_MEMO[(tree, ast)] = (
+            None if result is None else tuple(result.items())
+        )
+        return result
     return Matcher(tree, ast).first_assignment()
 
 

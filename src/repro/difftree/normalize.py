@@ -22,11 +22,30 @@ from __future__ import annotations
 
 from typing import List
 
+from ..memo import fast_paths_enabled
 from .dtnodes import ALL, ANY, EMPTY, EMPTY_NODE, MULTI, OPT, DTNode
 
 
 def normalize(node: DTNode) -> DTNode:
-    """Return the canonical form of ``node`` (bottom-up)."""
+    """Return the canonical form of ``node`` (bottom-up).
+
+    Memoized on the interned node: each distinct subtree is normalized
+    once per process, and already-normal trees (the common case when
+    serving appends of already-expressed queries) return in O(1).  The
+    result is marked as its own normal form, so ``normalize`` over a
+    previously-normalized tree never recurses.
+    """
+    if fast_paths_enabled():
+        cached = node._norm
+        if cached is not None:
+            return cached
+        children = tuple(normalize(c) for c in node.children)
+        result = normalize_shallow(node, children)
+        # normalize_shallow over normalized children yields a fully
+        # normalized tree, so the result is its own fixed point.
+        object.__setattr__(result, "_norm", result)
+        object.__setattr__(node, "_norm", result)
+        return result
     children = tuple(normalize(c) for c in node.children)
     return normalize_shallow(node, children)
 

@@ -31,6 +31,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 from ..core import GeneratedInterface, GenerationConfig, prepare_search, run_search
 from ..difftree import as_asts, wrap_ast
 from ..layout import Screen
+from ..memo import INGEST
 from ..registry import get_workload, strategy_spec
 from ..rules import RuleEngine
 from ..serve import (
@@ -201,6 +202,14 @@ class Engine:
     def cache_stats(self) -> Dict[str, int]:
         return _cache_snapshot(self.cache)
 
+    @property
+    def ingest_stats(self) -> Dict[str, int]:
+        """Ingest-path counters: process-wide memo/intern activity plus
+        the per-stream parse/dedup totals of this engine's sessions."""
+        stats = INGEST.snapshot()
+        stats.update(self.router.ingest_totals())
+        return stats
+
     @staticmethod
     def workload(name: str, *args, **kwargs):
         """Generate a registered workload log by name (e.g. ``"sdss"``)."""
@@ -236,6 +245,7 @@ class Engine:
                 strategy=cached.search.strategy,
                 log_size=len(asts),
                 cache_stats=self.cache_stats,
+                ingest_stats=self.ingest_stats,
                 timings={"total_s": time.perf_counter() - t0},
             )
         asts, screen, model, initial, rules = prepare_search(
@@ -259,6 +269,7 @@ class Engine:
             log_size=len(asts),
             warm_states_seeded=result.stats.warm_states_seeded,
             cache_stats=self.cache_stats,
+            ingest_stats=self.ingest_stats,
             timings={
                 "total_s": time.perf_counter() - t0,
                 "search_s": result.elapsed,
@@ -391,6 +402,7 @@ class Engine:
                 generated.search.stats.warm_states_seeded if searched else 0
             ),
             cache_stats=self.cache_stats,
+            ingest_stats=self.ingest_stats,
             timings=timings,
         )
 
@@ -436,6 +448,7 @@ class Engine:
                     strategy=generated.search.strategy,
                     log_size=len(generated.queries),
                     cache_stats=self.cache_stats,
+                    ingest_stats=self.ingest_stats,
                     timings={
                         "total_s": total_s,
                         "search_s": generated.search.elapsed,

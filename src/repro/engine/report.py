@@ -58,6 +58,11 @@ class GenerationReport:
             search (0 for cold runs and cache hits).
         cache_stats: snapshot of the owning cache's counters at serve
             time (empty when the entry point has no cache).
+        ingest_stats: snapshot of the process-wide ingest counters
+            (:data:`repro.memo.INGEST`) at serve time — parses, intern
+            hits, anti-unify/graft/expressibility memo hits, and
+            dedup-skipped appends (empty when the entry point does not
+            sample them).  Additive to schema_version 1.
         timings: wall-clock phases in seconds; always has ``total_s``,
             search-backed reports add ``search_s``.
         scheduling: scheduler provenance when the interface was produced
@@ -75,6 +80,7 @@ class GenerationReport:
     log_size: int = 0
     warm_states_seeded: int = 0
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    ingest_stats: Dict[str, int] = field(default_factory=dict)
     timings: Dict[str, float] = field(default_factory=dict)
     scheduling: Optional[Dict[str, Any]] = None
 
@@ -139,6 +145,7 @@ class GenerationReport:
                 "source": self.source,
                 "warm_states_seeded": self.warm_states_seeded,
                 "cache": dict(self.cache_stats),
+                "ingest": dict(self.ingest_stats),
             },
             "scheduling": (
                 _jsonable(dict(self.scheduling))

@@ -1,0 +1,197 @@
+"""Shared memoization infrastructure for the hash-consed ingest path.
+
+Structural interning (:mod:`repro.sqlast.nodes`, :mod:`repro.difftree.dtnodes`)
+makes equal subtrees *identical* objects, which turns every pure function
+over trees into a memoization candidate: ``parse``, ``wrap_ast``,
+``normalize``, ``anti_unify``/``graft``, ``expresses``/``assignment_for``
+and ``to_sql`` all consult bounded LRU tables keyed by interned nodes, so
+ingestion cost tracks *distinct structure* instead of raw log length.
+
+This module owns the pieces those layers share:
+
+* :class:`BoundedLRU` — the lock-protected LRU dict (moved here from
+  :mod:`repro.cost.kernel`, which re-exports it) used by every memo table.
+* :class:`IngestCounters` / :data:`INGEST` — process-wide counters
+  (parses, intern hits, memo hits, dedup-skipped appends) surfaced in
+  :class:`~repro.engine.report.GenerationReport` envelopes.
+* The **fast-path gate**: :func:`fast_paths_enabled` /
+  :func:`set_fast_paths` / :func:`fast_paths`.  Disabling it makes every
+  memoized function recompute from scratch — the pre-interning reference
+  path the ingest benchmark compares against for its throughput gate and
+  bit-for-bit parity check.
+* :func:`clear_memo_caches` — drops every registered memo table (used
+  between benchmark modes so both start cold).
+
+Memoized functions are pure, so warm caches never change results — only
+how fast they are produced.  Counters are plain ints bumped without a
+lock; under concurrent ingestion they are approximate (monotone, may
+slightly undercount), which is fine for the diagnostics they feed.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Dict, List
+
+
+class BoundedLRU:
+    """A small dict with least-recently-used eviction.
+
+    Replaces wholesale ``.clear()`` eviction: long serving sessions evict
+    one cold entry at a time instead of dropping everything at once.
+    Reads refresh recency (Python dicts preserve insertion order, so the
+    oldest entry is the first key).
+
+    Thread-safe (like :class:`repro.serve.cache.InterfaceCache`): the
+    recency-refresh on ``get`` and the evicting ``__setitem__`` are
+    pop-then-reinsert sequences that corrupt the dict if interleaved, so
+    every operation holds the lock — evaluators, cost models, and the
+    ingest memo tables shared across the concurrent session scheduler's
+    workers stay consistent.  ``values()``/``items()`` return
+    point-in-time snapshots (callers iterate without holding the lock).
+    """
+
+    __slots__ = ("capacity", "evictions", "_data", "_lock")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("LRU capacity must be >= 1")
+        self.capacity = capacity
+        self.evictions = 0
+        self._data: Dict[Any, Any] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        with self._lock:
+            if key not in self._data:
+                return default
+            value = self._data.pop(key)
+            self._data[key] = value
+            return value
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        with self._lock:
+            if key in self._data:
+                del self._data[key]
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                del self._data[next(iter(self._data))]
+                self.evictions += 1
+
+    def __contains__(self, key: Any) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def values(self):
+        with self._lock:
+            return list(self._data.values())
+
+    def items(self):
+        with self._lock:
+            return list(self._data.items())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+@dataclass
+class IngestCounters:
+    """Process-wide ingest instrumentation (see :data:`INGEST`).
+
+    Attributes:
+        parses: actual parser runs (memo/cache misses).
+        parse_memo_hits: ``parse()`` calls served from the global memo.
+        node_intern_hits: AST :class:`~repro.sqlast.nodes.Node`
+            constructions that returned an existing interned instance.
+        dtnode_intern_hits: same, for difftree
+            :class:`~repro.difftree.dtnodes.DTNode` constructions.
+        wrap_memo_hits: ``wrap_ast()`` calls served from the memo.
+        express_memo_hits: ``assignment_for``/``expresses`` memo hits.
+        au_memo_hits: memoized ``anti_unify`` subproblem hits.
+        graft_memo_hits: memoized top-level ``graft`` hits.
+        dedup_skipped_appends: appended queries an existing difftree
+            already expressed (``extend_difftree`` skipped the graft).
+        text_dedup_hits: appends served by the normalized-text dedup
+            tier of :class:`~repro.serve.stream.LogStream`.
+    """
+
+    parses: int = 0
+    parse_memo_hits: int = 0
+    node_intern_hits: int = 0
+    dtnode_intern_hits: int = 0
+    wrap_memo_hits: int = 0
+    express_memo_hits: int = 0
+    au_memo_hits: int = 0
+    graft_memo_hits: int = 0
+    dedup_skipped_appends: int = 0
+    text_dedup_hits: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict snapshot (stable keys, JSON-native values)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+
+#: The process-wide counter instance every layer bumps.
+INGEST = IngestCounters()
+
+
+# -- fast-path gate -------------------------------------------------------------
+
+_fast_paths = True
+
+
+def fast_paths_enabled() -> bool:
+    """Whether the memoized ingest fast paths are active (default: yes)."""
+    return _fast_paths
+
+
+def set_fast_paths(enabled: bool) -> None:
+    """Globally enable/disable the memo fast paths (benchmarks/tests)."""
+    global _fast_paths
+    _fast_paths = bool(enabled)
+
+
+@contextmanager
+def fast_paths(enabled: bool):
+    """Temporarily force the fast-path gate (restores the prior setting)."""
+    global _fast_paths
+    previous = _fast_paths
+    _fast_paths = bool(enabled)
+    try:
+        yield
+    finally:
+        _fast_paths = previous
+
+
+# -- memo-table registry --------------------------------------------------------
+
+_CLEARERS: List[Callable[[], None]] = []
+
+
+def register_cache(clear: Callable[[], None]) -> None:
+    """Register a cache-clearing callable for :func:`clear_memo_caches`."""
+    _CLEARERS.append(clear)
+
+
+def memo_table(capacity: int) -> BoundedLRU:
+    """A :class:`BoundedLRU` auto-registered with :func:`clear_memo_caches`."""
+    table = BoundedLRU(capacity)
+    register_cache(table.clear)
+    return table
+
+
+def clear_memo_caches() -> None:
+    """Drop every registered memo table (intern tables are weak and stay)."""
+    for clear in _CLEARERS:
+        clear()

@@ -16,7 +16,14 @@ pipeline:
 """
 
 from .batch import EXECUTORS, generate_interfaces_batch
-from .cache import CacheStats, InterfaceCache, PrefixMatch, context_key, log_key
+from .cache import (
+    CacheStats,
+    InterfaceCache,
+    PrefixMatch,
+    context_key,
+    log_key,
+    query_key,
+)
 from .incremental import DEFAULT_SESSION, IncrementalGenerator, PendingSearch
 from .stream import LogStream, SessionRouter
 
@@ -27,6 +34,7 @@ __all__ = [
     "CacheStats",
     "PrefixMatch",
     "log_key",
+    "query_key",
     "context_key",
     "IncrementalGenerator",
     "PendingSearch",

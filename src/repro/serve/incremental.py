@@ -231,6 +231,10 @@ class IncrementalGenerator:
     def log_length(self, session_id: str = DEFAULT_SESSION) -> int:
         return len(self.router.stream(session_id))
 
+    def ingest_stats(self) -> Dict[str, int]:
+        """Per-stream ingest totals across this generator's sessions."""
+        return self.router.ingest_totals()
+
     def drop_session(self, session_id: str = DEFAULT_SESSION) -> bool:
         """Forget a session's stream and warm-start carry; True if it existed."""
         existed = self.router.drop(session_id)

@@ -17,9 +17,24 @@ import zlib
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..difftree import wrap_ast
+from ..memo import INGEST
 from ..sqlast import Node, parse
 
 QueryLike = Union[str, Node]
+
+
+def _normalized_text(sql: str) -> Optional[str]:
+    """Whitespace-collapsed form of ``sql``, or None when unsafe/identical.
+
+    The normalized-duplicate dedup tier keys the parse cache under this
+    form too, so a re-run that differs only in spacing/line breaks skips
+    the parser.  Quoted strings and comments make whitespace significant,
+    so any query containing them opts out (exact-text tier still applies).
+    """
+    if "'" in sql or '"' in sql or "--" in sql:
+        return None
+    collapsed = " ".join(sql.split())
+    return collapsed if collapsed != sql else None
 
 
 class LogStream:
@@ -42,6 +57,9 @@ class LogStream:
         #: parser because the text was already in the cache.
         self.parses = 0
         self.parse_hits = 0
+        #: Appends served by the normalized-duplicate tier (same query
+        #: modulo whitespace — a re-parse skipped without an exact match).
+        self.dedup_hits = 0
 
     def __len__(self) -> int:
         return len(self._asts)
@@ -63,21 +81,39 @@ class LogStream:
             if isinstance(query, Node):
                 ast = query
                 parsed_fresh = False
+                normalized_hit = False
             elif isinstance(query, str):
+                # Fingerprint-first dedup: exact text, then the
+                # whitespace-normalized form, then (and only then) parse.
+                normalized_hit = False
                 ast = self._parse_cache.get(query)
+                norm = None
+                if ast is None:
+                    norm = _normalized_text(query)
+                    if norm is not None:
+                        ast = self._parse_cache.get(norm)
+                        normalized_hit = ast is not None
                 parsed_fresh = ast is None
                 if parsed_fresh:
                     ast = parse(query)
+                if parsed_fresh or normalized_hit:
                     self._parse_cache[query] = ast
+                if norm is not None and norm not in self._parse_cache:
+                    self._parse_cache[norm] = ast
             else:
                 raise TypeError(f"query must be SQL text or AST, got {type(query)}")
-            staged.append((query, ast, parsed_fresh, wrap_ast(ast).canonical_key))
-        for query, ast, parsed_fresh, key in staged:
+            staged.append(
+                (query, ast, parsed_fresh, normalized_hit, wrap_ast(ast).canonical_key)
+            )
+        for query, ast, parsed_fresh, normalized_hit, key in staged:
             if isinstance(query, str):
                 if parsed_fresh:
                     self.parses += 1
                 else:
                     self.parse_hits += 1
+                    if normalized_hit:
+                        self.dedup_hits += 1
+                        INGEST.text_dedup_hits += 1
             self._sql.append(query if isinstance(query, str) else "")
             self._asts.append(ast)
             self._query_keys.append(key)
@@ -86,6 +122,10 @@ class LogStream:
     def asts(self, end: Optional[int] = None) -> Tuple[Node, ...]:
         """The ingested ASTs (optionally only the first ``end``)."""
         return tuple(self._asts[: len(self._asts) if end is None else end])
+
+    def ast(self, index: int) -> Node:
+        """The AST at ``index`` (negative indexes allowed), without copying."""
+        return self._asts[index]
 
     def sql(self) -> Tuple[str, ...]:
         """The raw SQL strings (empty string for AST-only appends)."""
@@ -179,6 +219,17 @@ class SessionRouter:
             with shard.lock:
                 out.extend(shard.streams)
         return out
+
+    def ingest_totals(self) -> Dict[str, int]:
+        """Summed per-stream ingest counters across every live session."""
+        totals = {"stream_parses": 0, "stream_parse_hits": 0, "stream_dedup_hits": 0}
+        for shard in self._shards:
+            with shard.lock:
+                for stream in shard.streams.values():
+                    totals["stream_parses"] += stream.parses
+                    totals["stream_parse_hits"] += stream.parse_hits
+                    totals["stream_dedup_hits"] += stream.dedup_hits
+        return totals
 
     def truncate(self, session_id: str, length: int) -> int:
         """Roll a session's log back to ``length`` queries (0 if absent)."""

@@ -2,10 +2,17 @@
 
 Produces a flat list of :class:`Token` objects consumed by the
 recursive-descent parser in :mod:`repro.sqlast.parser`.
+
+The token table is one combined regular expression compiled at module
+load (one alternation with a named group per token class), so tokenizing
+is a single ``match``/dispatch loop instead of a chain of per-character
+Python conditionals — a measurable constant-factor win on the
+parse-heavy ingest path.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import List
 
@@ -45,6 +52,23 @@ KEYWORDS = frozenset(
 _OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
 _PUNCT = "(),*."
 
+#: The whole token table as one precompiled alternation.  Order matters:
+#: numbers before punctuation (so ``.5`` lexes as a float while ``t.col``
+#: still yields IDENT PUNCT IDENT — the leading-dot branch requires a
+#: digit), multi-char operators before their single-char prefixes.
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<comment>--[^\n]*\n?)
+    | (?P<word>[^\W\d]\w*)
+    | (?P<number>\d+\.\d+|\d+|\.\d+)
+    | (?P<string>'(?:''|[^'])*'|"(?:""|[^"])*")
+    | (?P<op><=|>=|<>|!=|=|<|>)
+    | (?P<punct>[(),*.])
+    """,
+    re.VERBOSE,
+)
+
 
 @dataclass(frozen=True)
 class Token:
@@ -74,76 +98,38 @@ def tokenize(text: str) -> List[Token]:
         LexError: on any unrecognized character or unterminated string.
     """
     tokens: List[Token] = []
+    append = tokens.append
+    match = _TOKEN_RE.match
     i = 0
     n = len(text)
     while i < n:
-        ch = text[i]
-        if ch.isspace():
-            i += 1
+        m = match(text, i)
+        if m is None:
+            ch = text[i]
+            if ch in ("'", '"'):
+                raise LexError("unterminated string literal", text, i)
+            raise LexError(f"unexpected character {ch!r}", text, i)
+        kind = m.lastgroup
+        start = i
+        i = m.end()
+        if kind == "ws" or kind == "comment":
             continue
-        if ch == "-" and text.startswith("--", i):
-            # Line comment.
-            end = text.find("\n", i)
-            i = n if end == -1 else end + 1
-            continue
-        if ch.isalpha() or ch == "_":
-            start = i
-            while i < n and (text[i].isalnum() or text[i] == "_"):
-                i += 1
-            word = text[start:i]
+        if kind == "word":
+            word = m.group()
             lowered = word.lower()
             if lowered in KEYWORDS:
-                tokens.append(Token(KEYWORD, lowered, start))
+                append(Token(KEYWORD, lowered, start))
             else:
-                tokens.append(Token(IDENT, word, start))
-            continue
-        if ch.isdigit() or (
-            ch == "." and i + 1 < n and text[i + 1].isdigit()
-        ):
-            start = i
-            seen_dot = False
-            while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
-                if text[i] == ".":
-                    # Only treat the dot as part of the number when followed
-                    # by a digit (so "t.col" still lexes as IDENT PUNCT IDENT).
-                    if i + 1 >= n or not text[i + 1].isdigit():
-                        break
-                    seen_dot = True
-                i += 1
-            tokens.append(Token(NUMBER, text[start:i], start))
-            continue
-        if ch in ("'", '"'):
-            start = i
-            quote = ch
-            i += 1
-            chars: List[str] = []
-            while i < n:
-                if text[i] == quote:
-                    if i + 1 < n and text[i + 1] == quote:
-                        chars.append(quote)  # escaped quote ('' or "")
-                        i += 2
-                        continue
-                    break
-                chars.append(text[i])
-                i += 1
-            if i >= n:
-                raise LexError("unterminated string literal", text, start)
-            i += 1  # closing quote
-            tokens.append(Token(STRING, "".join(chars), start))
-            continue
-        matched_op = False
-        for op in _OPERATORS:
-            if text.startswith(op, i):
-                tokens.append(Token(OP, op, i))
-                i += len(op)
-                matched_op = True
-                break
-        if matched_op:
-            continue
-        if ch in _PUNCT:
-            tokens.append(Token(PUNCT, ch, i))
-            i += 1
-            continue
-        raise LexError(f"unexpected character {ch!r}", text, i)
+                append(Token(IDENT, word, start))
+        elif kind == "number":
+            append(Token(NUMBER, m.group(), start))
+        elif kind == "string":
+            raw = m.group()
+            quote = raw[0]
+            append(Token(STRING, raw[1:-1].replace(quote + quote, quote), start))
+        elif kind == "op":
+            append(Token(OP, m.group(), start))
+        else:  # punct
+            append(Token(PUNCT, m.group(), start))
     tokens.append(Token(EOF, "", n))
     return tokens

@@ -6,11 +6,22 @@ The paper models every query as its AST (Figure 1).  We use one generic
 operator) and a tuple of children.  Nodes are immutable and hashable so they
 can be shared freely between difftrees, used as dictionary keys, and
 structurally deduplicated.
+
+Nodes are **hash-consed**: constructing a node whose ``(label, value,
+children)`` triple matches a live instance returns that instance, so
+structurally equal subtrees built anywhere in the process are the *same*
+object and equality is usually one identity check.  The intern table is
+weak — nodes are collected normally once unreferenced — and pickling
+re-interns in the receiving process (``__reduce__`` rebuilds through the
+constructor).
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Iterator, Optional, Sequence, Tuple
+from weakref import WeakValueDictionary
+
+from ..memo import INGEST
 
 # ---------------------------------------------------------------------------
 # Grammar labels.  Using plain strings (not an enum) keeps nodes lightweight
@@ -52,6 +63,17 @@ CLAUSE_ORDER = (TOP, PROJECT, FROM, WHERE, GROUPBY, ORDERBY, LIMIT)
 
 _CLAUSE_RANK = {label: i for i, label in enumerate(CLAUSE_ORDER)}
 
+#: The hash-consing table: ``(label, value, children) -> live Node``.
+#: Values are weak, so interning never extends a node's lifetime.
+_INTERN: "WeakValueDictionary[Tuple[str, Any, Tuple['Node', ...]], Node]" = (
+    WeakValueDictionary()
+)
+
+
+def interned_node_count() -> int:
+    """How many distinct AST subtrees are currently interned (diagnostics)."""
+    return len(_INTERN)
+
 
 class Node:
     """An immutable AST node.
@@ -63,29 +85,38 @@ class Node:
         children: child nodes, stored as a tuple.
 
     Equality and hashing are structural and O(1) after construction: the
-    hash is computed bottom-up once and cached, and equality short-circuits
-    on the cached hash.
+    hash is computed bottom-up once and cached, and interning makes most
+    equality checks a single identity comparison (equal structures are
+    the same object; unequal ones almost always differ in cached hash).
     """
 
-    __slots__ = ("label", "value", "children", "_hash", "_size")
+    __slots__ = ("label", "value", "children", "_hash", "_size", "__weakref__")
 
-    def __init__(
-        self,
+    def __new__(
+        cls,
         label: str,
         value: Any = None,
         children: Sequence["Node"] = (),
-    ) -> None:
-        object.__setattr__(self, "label", label)
-        object.__setattr__(self, "value", value)
-        object.__setattr__(self, "children", tuple(children))
-        for child in self.children:
+    ) -> "Node":
+        children = tuple(children)
+        key = (label, value, children)
+        cached = _INTERN.get(key)
+        if cached is not None:
+            INGEST.node_intern_hits += 1
+            return cached
+        for child in children:
             if not isinstance(child, Node):
                 raise TypeError(f"child of {label} is not a Node: {child!r}")
-        h = hash((label, value, self.children))
-        object.__setattr__(self, "_hash", h)
+        self = object.__new__(cls)
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "children", children)
+        object.__setattr__(self, "_hash", hash(key))
         object.__setattr__(
-            self, "_size", 1 + sum(c._size for c in self.children)
+            self, "_size", 1 + sum(c._size for c in children)
         )
+        _INTERN[key] = self
+        return self
 
     # -- immutability -------------------------------------------------------
 
@@ -105,7 +136,20 @@ class Node:
     def __hash__(self) -> int:
         return self._hash
 
+    @property
+    def fingerprint(self) -> int:
+        """Cached structural fingerprint (process-local).
+
+        Interning makes equal fingerprints of live nodes coincide with
+        object identity; use :meth:`repro.difftree.wrap_ast` canonical
+        keys when a cross-process-stable digest is needed.
+        """
+        return self._hash
+
     def __eq__(self, other: object) -> bool:
+        # Interning makes the identity check decide almost every
+        # comparison; the structural fallback only runs for the rare
+        # un-interned twin (e.g. built concurrently on another thread).
         if self is other:
             return True
         if not isinstance(other, Node):

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from typing import List
 
+from .. import memo as _memo
+from ..memo import INGEST
 from . import nodes as N
 from .errors import ParseError
 from .lexer import EOF, IDENT, KEYWORD, NUMBER, OP, PUNCT, STRING, Token, tokenize
@@ -236,12 +238,28 @@ class Parser:
         )
 
 
+#: ``sql text -> AST`` for exact repeats (interning makes the cached AST
+#: shared structure, not a private copy).  Only successful parses are
+#: cached; malformed input re-raises from a fresh parser run.
+_PARSE_MEMO = _memo.memo_table(4096)
+
+
 def parse(sql: str) -> N.Node:
-    """Parse a single SQL query into its AST.
+    """Parse a single SQL query into its AST (memoized on exact text).
 
     Raises:
         ParseError or LexError on malformed input.
     """
+    if _memo.fast_paths_enabled():
+        cached = _PARSE_MEMO.get(sql)
+        if cached is not None:
+            INGEST.parse_memo_hits += 1
+            return cached
+        INGEST.parses += 1
+        ast = Parser(sql).parse_query()
+        _PARSE_MEMO[sql] = ast
+        return ast
+    INGEST.parses += 1
     return Parser(sql).parse_query()
 
 

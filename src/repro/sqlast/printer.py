@@ -6,11 +6,28 @@ this round-trip is exercised by property tests.
 
 from __future__ import annotations
 
+from .. import memo as _memo
 from . import nodes as N
+
+#: ``interned AST -> rendered SQL``; rendering the same (sub)tree twice —
+#: e.g. interface runtimes re-displaying the current query per widget
+#: interaction — is a lookup instead of a tree walk.
+_RENDER_MEMO = _memo.memo_table(4096)
 
 
 def to_sql(node: N.Node) -> str:
-    """Render an AST back to SQL text."""
+    """Render an AST back to SQL text (memoized on the interned node)."""
+    if _memo.fast_paths_enabled():
+        cached = _RENDER_MEMO.get(node)
+        if cached is not None:
+            return cached
+        text = _render(node)
+        _RENDER_MEMO[node] = text
+        return text
+    return _render(node)
+
+
+def _render(node: N.Node) -> str:
     if node.label == N.SELECT:
         return _select_to_sql(node)
     return _expr_to_sql(node, parent=None)

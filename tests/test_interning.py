@@ -1,0 +1,214 @@
+"""Interning invariants: hash-consing, fingerprints, and memo parity.
+
+The contracts behind the hash-consed ingest path (ISSUE 5):
+
+* parsing the same query twice yields *identical* interned subtrees,
+* fingerprint equality ⇔ structural equality (property-style over the
+  sdss / tpch / synthetic workloads),
+* memoized ``anti_unify``/``graft``/``normalize``/``assignment_for``
+  agree bit-for-bit with their unmemoized references,
+* the serving dedup tiers and ingest counters observe repetition.
+"""
+
+import itertools
+
+import pytest
+
+from repro import memo
+from repro.difftree import (
+    anti_unify,
+    extend_difftree,
+    graft,
+    initial_difftree,
+    normalize,
+    wrap_ast,
+)
+from repro.difftree.antiunify import anti_unify_reference
+from repro.engine import Engine
+from repro.core import GenerationConfig
+from repro.registry import get_workload
+from repro.serve import LogStream, log_key
+from repro.sqlast import parse
+import repro.workloads  # noqa: F401  (registers the built-in workloads)
+
+FAST = GenerationConfig(time_budget_s=0.0, max_iterations=4, seed=0, final_cap=120)
+
+
+def workload_asts():
+    """A mixed bag of ASTs across the registered workload families."""
+    asts = [parse(sql) for sql in get_workload("sdss")(10, seed=1)]
+    asts += [parse(sql) for sql in get_workload("tpch")(10, seed=1)]
+    asts += get_workload("synthetic.mixed_session")(10, seed=1)
+    return asts
+
+
+def structurally_equal(a, b):
+    """Field-by-field comparison independent of interning/fingerprints."""
+    return (
+        a.label == b.label
+        and a.value == b.value
+        and len(a.children) == len(b.children)
+        and all(structurally_equal(x, y) for x, y in zip(a.children, b.children))
+    )
+
+
+class TestNodeInterning:
+    def test_same_query_parses_to_identical_subtrees(self):
+        sql = "select top 10 objid from stars where u between 0 and 30"
+        a = parse(sql)
+        b = parse(sql)
+        assert a is b
+        # Every subtree is shared too, not just the root.
+        for x, y in zip(a.walk(), b.walk()):
+            assert x is y
+
+    def test_equal_structure_from_different_texts_is_shared(self):
+        # Same AST reached through different whitespace/case spellings.
+        a = parse("select objid from stars where u < 5")
+        b = parse("SELECT objid FROM stars WHERE u < 5")
+        assert a is b
+
+    def test_fingerprint_equality_iff_structural_equality(self):
+        asts = workload_asts()
+        for a, b in itertools.combinations(asts, 2):
+            structural = structurally_equal(a, b)
+            assert (a == b) == structural
+            if structural:
+                assert a is b
+                assert a.fingerprint == b.fingerprint
+
+    def test_wrapped_fingerprints_track_ast_identity(self):
+        asts = workload_asts()
+        keys = {}
+        for ast in asts:
+            keys.setdefault(wrap_ast(ast).canonical_key, ast)
+        for key, ast in keys.items():
+            # Distinct canonical keys => distinct interned ASTs.
+            for other_key, other in keys.items():
+                if key != other_key:
+                    assert ast is not other
+
+
+class TestDTNodeInterning:
+    def test_wrap_ast_is_memoized(self):
+        ast = parse("select objid from stars where u < 5")
+        assert wrap_ast(ast) is wrap_ast(ast)
+
+    def test_difftree_fingerprint_iff_canonical_key(self):
+        asts = workload_asts()
+        trees = [wrap_ast(ast) for ast in asts]
+        trees.append(initial_difftree(asts[:5]))
+        trees.append(initial_difftree(asts[5:9]))
+        for a, b in itertools.combinations(trees, 2):
+            assert (a == b) == (a.canonical_key == b.canonical_key)
+            if a == b:
+                assert a is b
+
+    def test_rebuilt_difftree_is_identical_object(self):
+        asts = workload_asts()[:6]
+        assert initial_difftree(asts) is initial_difftree(list(asts))
+
+
+class TestMemoParity:
+    def test_anti_unify_matches_unmemoized_reference(self):
+        asts = workload_asts()
+        wrapped = [wrap_ast(ast) for ast in asts]
+        for a, b in zip(wrapped, wrapped[1:]):
+            reference = anti_unify_reference(a, b)
+            assert anti_unify(a, b) is reference  # cold call
+            assert anti_unify(a, b) is reference  # memo hit
+
+    def test_graft_and_normalize_match_fast_path_off(self):
+        asts = workload_asts()
+        tree = initial_difftree(asts[:8])
+        for ast in asts[8:]:
+            fast = graft(tree, wrap_ast(ast))
+            with memo.fast_paths(False):
+                slow = graft(tree, wrap_ast(ast))
+            assert fast.canonical_key == slow.canonical_key
+            assert normalize(fast) is fast
+
+    def test_extend_difftree_counts_dedup_skipped_appends(self):
+        asts = workload_asts()[:6]
+        tree = initial_difftree(asts)
+        before = memo.INGEST.dedup_skipped_appends
+        extended = extend_difftree(tree, asts)  # all already expressed
+        assert extended is tree
+        assert memo.INGEST.dedup_skipped_appends == before + len(asts)
+
+
+class TestLogKey:
+    def test_order_and_duplication_insensitive(self):
+        asts = workload_asts()[:6]
+        assert log_key(asts) == log_key(list(reversed(asts)))
+        assert log_key(asts) == log_key(asts + asts)
+
+    def test_different_logs_differ(self):
+        asts = workload_asts()
+        assert log_key(asts[:4]) != log_key(asts[:5])
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValueError):
+            log_key([])
+
+
+class TestStreamDedupTier:
+    def test_whitespace_duplicate_skips_reparse(self):
+        stream = LogStream()
+        stream.append("select objid from stars where u < 5")
+        stream.append("select   objid from stars\n where u < 5")
+        assert stream.parses == 1
+        assert stream.parse_hits == 1
+        assert stream.dedup_hits == 1
+        assert stream.query_keys()[0] == stream.query_keys()[1]
+
+    def test_quoted_strings_opt_out_of_normalization(self):
+        stream = LogStream()
+        stream.append("select objid from stars where name = 'a  b'")
+        stream.append("select objid from stars where name = 'a b'")
+        assert stream.parses == 2
+        assert stream.dedup_hits == 0
+        assert stream.query_keys()[0] != stream.query_keys()[1]
+
+    def test_exact_duplicate_still_counts_as_parse_hit(self):
+        stream = LogStream()
+        stream.append("select objid from stars where u < 5")
+        stream.append("select objid from stars where u < 5")
+        assert stream.parses == 1
+        assert stream.parse_hits == 1
+        assert stream.dedup_hits == 0
+
+
+class TestIngestReporting:
+    def test_engine_reports_carry_ingest_counters(self):
+        engine = Engine(config=FAST)
+        session = engine.session("ingest-report")
+        session.append(*get_workload("sdss")(4, seed=3))
+        report = session.interface()
+        assert report.ingest_stats  # sampled
+        payload = report.to_dict()
+        ingest = payload["provenance"]["ingest"]
+        assert payload["schema_version"] == 1
+        for key in (
+            "parses",
+            "node_intern_hits",
+            "dtnode_intern_hits",
+            "au_memo_hits",
+            "dedup_skipped_appends",
+            "stream_parses",
+        ):
+            assert key in ingest
+            assert isinstance(ingest[key], int)
+
+    def test_engine_ingest_stats_grow_with_repetition(self):
+        engine = Engine(config=FAST)
+        queries = get_workload("tpch")(4, seed=5)
+        session = engine.session("rep")
+        session.append(*queries)
+        session.interface()
+        before = engine.ingest_stats
+        session.append(*queries)  # exact repeats: dedup tiers engage
+        session.interface()
+        after = engine.ingest_stats
+        assert after["stream_parse_hits"] > before["stream_parse_hits"]
+        assert after["dedup_skipped_appends"] >= before["dedup_skipped_appends"]
