@@ -28,6 +28,7 @@ The one-shot :func:`generate_interface` and the :mod:`repro.serve`
 classes remain as stable shims over the same machinery.
 """
 
+from . import obs
 from .core import (
     STRATEGIES,
     GeneratedInterface,
@@ -60,5 +61,6 @@ __all__ = [
     "LogStream",
     "SessionRouter",
     "generate_interfaces_batch",
+    "obs",
     "__version__",
 ]

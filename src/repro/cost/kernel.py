@@ -138,7 +138,13 @@ class CostBreakdown:
 
 @dataclass
 class KernelStats:
-    """Counters of compiled-kernel activity (one instance per model)."""
+    """Counters of compiled-kernel activity (one instance per model).
+
+    Per-run totals are absorbed into the process-wide observability
+    registry (``cost.kernel.*``) when a search task delivers its result
+    — see ``repro.search.common`` — so the hot eval/delta paths keep
+    bumping plain ints with no indirection.
+    """
 
     kernels_compiled: int = 0
     sequences_compiled: int = 0
@@ -147,6 +153,12 @@ class KernelStats:
     delta_evals: int = 0
     adopted_evals: int = 0
     fallback_evals: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict snapshot (stable keys, JSON-native values)."""
+        from dataclasses import fields
+
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 # BoundedLRU moved to repro.memo (shared with the ingest memo tables);

@@ -31,6 +31,7 @@ from ..difftree import Assignment, DTNode, Path, assignment_for, changed_choices
 from ..layout import Screen, measure
 from ..sqlast import nodes as N
 from ..widgets.tree import WidgetNode
+from ..obs import trace as _trace
 from .kernel import (
     BoundedLRU,
     CompiledSequence,
@@ -73,9 +74,11 @@ class CostModel:
         self.screen = screen
         self.weights = weights
         #: difftree canonical key -> per-query assignments (bounded LRU).
-        self._assignment_cache = BoundedLRU(assignment_cache_size)
+        self._assignment_cache = BoundedLRU(
+            assignment_cache_size, name="cost.assignments"
+        )
         #: difftree canonical key -> compiled kernel (bounded LRU).
-        self._kernels = BoundedLRU(kernel_cache_size)
+        self._kernels = BoundedLRU(kernel_cache_size, name="cost.kernels")
         #: difftree canonical key -> prior-run CompiledSequence to extend
         #: (seeded by repro.serve across grafted generations).
         self._carried_sequences: Dict[str, CompiledSequence] = {}
@@ -88,13 +91,14 @@ class CostModel:
         key = tree.canonical_key
         kernel = self._kernels.get(key)
         if kernel is None:
-            kernel = CostKernel(
-                tree,
-                self._sequence_for(tree),
-                self.screen,
-                self.weights,
-                stats=self.kernel_stats,
-            )
+            with _trace("cost.kernel.compile"):
+                kernel = CostKernel(
+                    tree,
+                    self._sequence_for(tree),
+                    self.screen,
+                    self.weights,
+                    stats=self.kernel_stats,
+                )
             self._kernels[key] = kernel
             self.kernel_stats.kernels_compiled += 1
         return kernel
@@ -116,9 +120,10 @@ class CostModel:
                     self.kernel_stats.sequences_extended += 1
                 self._assignment_cache[key] = sequence.assignments
                 return sequence
-        sequence = CompiledSequence.compile(
-            tree, self.queries, assignments=self.assignments(tree)
-        )
+        with _trace("cost.sequence.compile"):
+            sequence = CompiledSequence.compile(
+                tree, self.queries, assignments=self.assignments(tree)
+            )
         self.kernel_stats.sequences_compiled += 1
         return sequence
 

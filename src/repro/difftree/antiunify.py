@@ -27,10 +27,10 @@ from .normalize import normalize
 
 #: ``(a, b) -> _au(a, b)`` over interned subtree pairs.  Repeated template
 #: collisions (the dominant pattern in real logs) become O(1) lookups.
-_AU_MEMO = _memo.memo_table(8192)
+_AU_MEMO = _memo.memo_table(8192, name="difftree.anti_unify")
 
 #: ``(tree, query) -> graft(tree, query)`` for whole-merge reuse.
-_GRAFT_MEMO = _memo.memo_table(8192)
+_GRAFT_MEMO = _memo.memo_table(8192, name="difftree.graft")
 
 
 def anti_unify(a: DTNode, b: DTNode) -> DTNode:

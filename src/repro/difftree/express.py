@@ -147,7 +147,7 @@ class Matcher:
 #: ``(difftree, ast) -> frozen assignment items`` (or None when the tree
 #: cannot express the query).  Interned nodes make the key a fingerprint
 #: pair; the bounded table holds strong refs, so capacity bounds memory.
-_ASSIGN_MEMO = _memo.memo_table(16384)
+_ASSIGN_MEMO = _memo.memo_table(16384, name="difftree.assign")
 _ASSIGN_MISS = object()
 
 

@@ -32,6 +32,7 @@ from ..core import GeneratedInterface, GenerationConfig, prepare_search, run_sea
 from ..difftree import as_asts, wrap_ast
 from ..layout import Screen
 from ..memo import INGEST
+from ..obs import collecting as _collecting, emit_report as _emit_report, trace as _trace
 from ..registry import get_workload, strategy_spec
 from ..rules import RuleEngine
 from ..serve import (
@@ -47,18 +48,6 @@ from ..serve.stream import QueryLike
 from ..sqlast import Node
 from .report import GenerationReport
 from .scheduler import SessionScheduler
-
-
-def _cache_snapshot(cache: InterfaceCache) -> Dict[str, int]:
-    """Plain-dict snapshot of the cache counters (for report provenance)."""
-    stats = cache.stats
-    return {
-        "hits": stats.hits,
-        "misses": stats.misses,
-        "evictions": stats.evictions,
-        "prefix_hits": stats.prefix_hits,
-        "entries": len(cache),
-    }
 
 
 class LogSession:
@@ -200,7 +189,7 @@ class Engine:
 
     @property
     def cache_stats(self) -> Dict[str, int]:
-        return _cache_snapshot(self.cache)
+        return self.cache.snapshot()
 
     @property
     def ingest_stats(self) -> Dict[str, int]:
@@ -233,48 +222,64 @@ class Engine:
         the result is cached for future one-shot *and* session calls.
         """
         t0 = time.perf_counter()
-        # Key and consult the cache before building any search machinery
-        # — a hit must not pay for a cost model or rule engine.
-        asts = as_asts(queries)
-        key = InterfaceCache.key_for(asts, self.screen, self.config)
-        cached = self.cache.get(key)
-        if cached is not None:
-            return GenerationReport(
-                result=cached,
-                source="cache",
-                strategy=cached.search.strategy,
-                log_size=len(asts),
-                cache_stats=self.cache_stats,
-                ingest_stats=self.ingest_stats,
-                timings={"total_s": time.perf_counter() - t0},
-            )
-        asts, screen, model, initial, rules = prepare_search(
-            asts, screen=self.screen, config=self.config, engine=self.rules
-        )
-        result = run_search(model, initial, rules, self.config, warm_states)
-        self._direct_searches += 1
-        generated = GeneratedInterface(
-            queries=asts, screen=screen, search=result, best=result.best
-        )
-        self.cache.put(
-            key,
-            generated,
-            query_keys=tuple(wrap_ast(ast).canonical_key for ast in asts),
-            ctx=self._ctx,
-        )
-        return GenerationReport(
-            result=generated,
-            source="search",
-            strategy=result.strategy,
-            log_size=len(asts),
-            warm_states_seeded=result.stats.warm_states_seeded,
-            cache_stats=self.cache_stats,
-            ingest_stats=self.ingest_stats,
-            timings={
-                "total_s": time.perf_counter() - t0,
-                "search_s": result.elapsed,
-            },
-        )
+        spans: List[Dict] = []
+        with _collecting(spans), _trace("engine.generate"):
+            # Key and consult the cache before building any search machinery
+            # — a hit must not pay for a cost model or rule engine.
+            asts = as_asts(queries)
+            key = InterfaceCache.key_for(asts, self.screen, self.config)
+            parse_s = time.perf_counter() - t0
+            cached = self.cache.get(key)
+            if cached is not None:
+                report = GenerationReport(
+                    result=cached,
+                    source="cache",
+                    strategy=cached.search.strategy,
+                    log_size=len(asts),
+                    cache_stats=self.cache_stats,
+                    ingest_stats=self.ingest_stats,
+                    timings={
+                        "parse_s": parse_s,
+                        "total_s": time.perf_counter() - t0,
+                    },
+                )
+            else:
+                difftree_started = time.perf_counter()
+                asts, screen, model, initial, rules = prepare_search(
+                    asts, screen=self.screen, config=self.config, engine=self.rules
+                )
+                difftree_s = time.perf_counter() - difftree_started
+                result = run_search(model, initial, rules, self.config, warm_states)
+                self._direct_searches += 1
+                render_started = time.perf_counter()
+                generated = GeneratedInterface(
+                    queries=asts, screen=screen, search=result, best=result.best
+                )
+                self.cache.put(
+                    key,
+                    generated,
+                    query_keys=tuple(wrap_ast(ast).canonical_key for ast in asts),
+                    ctx=self._ctx,
+                )
+                report = GenerationReport(
+                    result=generated,
+                    source="search",
+                    strategy=result.strategy,
+                    log_size=len(asts),
+                    warm_states_seeded=result.stats.warm_states_seeded,
+                    cache_stats=self.cache_stats,
+                    ingest_stats=self.ingest_stats,
+                    timings={
+                        "parse_s": parse_s,
+                        "difftree_s": difftree_s,
+                        "search_s": result.elapsed,
+                        "render_s": time.perf_counter() - render_started,
+                        "total_s": time.perf_counter() - t0,
+                    },
+                )
+        report.trace = spans
+        _emit_report(report, verb="generate")
+        return report
 
     # -- sessions -----------------------------------------------------------
 
@@ -384,15 +389,17 @@ class Engine:
 
     def _session_interface(self, session_id: str) -> GenerationReport:
         service = self._incremental_service()
-        before = service.searches_run
         t0 = time.perf_counter()
-        generated = service.generate(session_id)
-        total_s = time.perf_counter() - t0
-        searched = service.searches_run > before
-        timings = {"total_s": total_s}
-        if searched:
-            timings["search_s"] = generated.search.elapsed
-        return GenerationReport(
+        spans: List[Dict] = []
+        with _collecting(spans), _trace("engine.session.interface", session=session_id):
+            pending = service.open_search(session_id)
+            searched = pending.cached is None
+            if searched:
+                pending.task.step()
+            generated = pending.finish()
+        timings = dict(pending.timings)
+        timings["total_s"] = time.perf_counter() - t0
+        report = GenerationReport(
             result=generated,
             source="search" if searched else "cache",
             strategy=generated.search.strategy,
@@ -405,6 +412,9 @@ class Engine:
             ingest_stats=self.ingest_stats,
             timings=timings,
         )
+        report.trace = spans
+        _emit_report(report, verb="session.interface")
+        return report
 
     # -- batch --------------------------------------------------------------
 
@@ -421,13 +431,17 @@ class Engine:
         same logs are hits.
         """
         t0 = time.perf_counter()
-        results = generate_interfaces_batch(
-            logs,
-            screen=self.screen,
-            config=self.config,
-            max_workers=max_workers if max_workers is not None else self.max_workers,
-            executor=executor or self.executor,
-        )
+        spans: List[Dict] = []
+        with _collecting(spans), _trace("engine.generate_batch", logs=len(logs)):
+            results = generate_interfaces_batch(
+                logs,
+                screen=self.screen,
+                config=self.config,
+                max_workers=(
+                    max_workers if max_workers is not None else self.max_workers
+                ),
+                executor=executor or self.executor,
+            )
         total_s = time.perf_counter() - t0
         reports = []
         for generated in results:
@@ -441,18 +455,21 @@ class Engine:
                 ),
                 ctx=self._ctx,
             )
-            reports.append(
-                GenerationReport(
-                    result=generated,
-                    source="batch",
-                    strategy=generated.search.strategy,
-                    log_size=len(generated.queries),
-                    cache_stats=self.cache_stats,
-                    ingest_stats=self.ingest_stats,
-                    timings={
-                        "total_s": total_s,
-                        "search_s": generated.search.elapsed,
-                    },
-                )
+            report = GenerationReport(
+                result=generated,
+                source="batch",
+                strategy=generated.search.strategy,
+                log_size=len(generated.queries),
+                cache_stats=self.cache_stats,
+                ingest_stats=self.ingest_stats,
+                timings={
+                    "total_s": total_s,
+                    "search_s": generated.search.elapsed,
+                },
             )
+            # The batch ran as one fanned-out phase; every lane's report
+            # carries the shared batch-level spans.
+            report.trace = list(spans)
+            reports.append(report)
+            _emit_report(report, verb="generate_batch")
         return reports

@@ -17,8 +17,14 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..core import GeneratedInterface
 
-#: Bump when the ``to_dict`` wire shape changes incompatibly.
-REPORT_SCHEMA_VERSION = 1
+#: Bump when the ``to_dict`` wire shape changes.  Version 2 added the
+#: ``trace`` section and guaranteed per-phase ``timings`` keys — both
+#: additive, so schema-v1 consumers keep reading v2 envelopes.
+REPORT_SCHEMA_VERSION = 2
+
+#: Phase keys every report's ``timings`` dict carries (0.0 when a phase
+#: did not run for that verb — e.g. a cache hit searches for 0 s).
+TIMING_PHASES = ("parse_s", "difftree_s", "search_s", "render_s")
 
 #: Where a report's interface came from.
 SOURCES = ("search", "cache", "batch")
@@ -63,8 +69,14 @@ class GenerationReport:
             hits, anti-unify/graft/expressibility memo hits, and
             dedup-skipped appends (empty when the entry point does not
             sample them).  Additive to schema_version 1.
-        timings: wall-clock phases in seconds; always has ``total_s``,
-            search-backed reports add ``search_s``.
+        timings: wall-clock phases in seconds; always has ``total_s``
+            plus every key in :data:`TIMING_PHASES` (defaulted to 0.0
+            for phases that did not run).
+        trace: per-phase span records collected while producing this
+            interface when :mod:`repro.obs` is enabled (empty
+            otherwise).  Each record is
+            ``{"name", "ts", "duration_s", "tags"?}``.  Additive to
+            schema_version 2.
         scheduling: scheduler provenance when the interface was produced
             by a :class:`~repro.engine.SessionScheduler` (``None``
             otherwise): the policy, how long the session waited for
@@ -83,10 +95,13 @@ class GenerationReport:
     ingest_stats: Dict[str, int] = field(default_factory=dict)
     timings: Dict[str, float] = field(default_factory=dict)
     scheduling: Optional[Dict[str, Any]] = None
+    trace: List[Dict[str, Any]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.source not in SOURCES:
             raise ValueError(f"source must be one of {SOURCES}, got {self.source!r}")
+        for phase in TIMING_PHASES:
+            self.timings.setdefault(phase, 0.0)
 
     # -- convenience passthroughs (the legacy surface) ----------------------
 
@@ -153,4 +168,5 @@ class GenerationReport:
                 else None
             ),
             "timings": dict(self.timings),
+            "trace": _jsonable(self.trace),
         }

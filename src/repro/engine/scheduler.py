@@ -57,6 +57,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
+from ..obs import collecting as _collecting, emit_report as _emit_report, trace as _trace
 from ..serve.incremental import PendingSearch
 from ..serve.stream import QueryLike
 from .report import GenerationReport
@@ -431,24 +432,39 @@ class SessionScheduler:
         """
         session_id = ticket.session_id
         opened = False
-        if pending is None:
-            chunk = ticket.chunks[ticket.chunk_index]
-            with self._lock:
-                self._chunk_baseline.setdefault(
-                    session_id, self._service.log_length(session_id)
-                )
-            self._service.append(*chunk, session_id=session_id)
-            pending = self._service.open_search(session_id)
-            opened = True
+        performed = 0
+        slice_spans: List[dict] = []
+        with _collecting(slice_spans), _trace(
+            "scheduler.slice",
+            session=session_id,
+            policy=self.policy,
+            worker=threading.current_thread().name,
+        ):
+            if pending is None:
+                chunk = ticket.chunks[ticket.chunk_index]
+                with self._lock:
+                    self._chunk_baseline.setdefault(
+                        session_id, self._service.log_length(session_id)
+                    )
+                self._service.append(*chunk, session_id=session_id)
+                pending = self._service.open_search(session_id)
+                opened = True
+            if pending.cached is None:
+                if self.policy == "fifo":
+                    performed = pending.task.step()
+                else:
+                    performed = pending.task.step(
+                        n_iterations=self.slice_iterations, slice_s=self.slice_s
+                    )
+        # Attach this slice's spans to the session's pending record.  The
+        # lease keeps per-session work single-threaded, so plain appends
+        # are safe; identity-dedup keeps the spans open_search already
+        # attached (collected by both levels) from appearing twice.
+        seen = {id(span) for span in pending.spans}
+        pending.spans.extend(s for s in slice_spans if id(s) not in seen)
         if pending.cached is not None:
             report = self._report(ticket, pending, searched=False)
             return report, None, 0, opened
-        if self.policy == "fifo":
-            performed = pending.task.step()
-        else:
-            performed = pending.task.step(
-                n_iterations=self.slice_iterations, slice_s=self.slice_s
-            )
         if not pending.task.done:
             return None, pending, performed, opened
         report = self._report(ticket, pending, searched=True)
@@ -459,24 +475,23 @@ class SessionScheduler:
     ) -> GenerationReport:
         """Package a delivered interface with scheduling provenance."""
         engine = self.engine
-        now = time.perf_counter()
         if searched:
             task = pending.task
+            # finish() collects its own spans into pending.spans and fills
+            # pending.timings["search_s"/"render_s"] from the task clock.
             generated = pending.finish()
-            timings = {
-                "total_s": now - (ticket.admitted_at or ticket.submitted_at),
-                "search_s": task.elapsed,
-            }
             scheduling_extra = {
                 "slices": task.slices,
                 "iterations": task.iterations,
             }
         else:
             generated = pending.cached
-            timings = {"total_s": now - (ticket.admitted_at or ticket.submitted_at)}
             scheduling_extra = {"slices": 0, "iterations": 0}
+        now = time.perf_counter()
+        timings = dict(pending.timings)
+        timings["total_s"] = now - (ticket.admitted_at or ticket.submitted_at)
         stats = generated.search.stats
-        return GenerationReport(
+        report = GenerationReport(
             result=generated,
             source="search" if searched else "cache",
             strategy=generated.search.strategy,
@@ -492,4 +507,7 @@ class SessionScheduler:
                 "preemptions": ticket.preemptions,
                 **scheduling_extra,
             },
+            trace=list(pending.spans),
         )
+        _emit_report(report, verb="scheduler")
+        return report

@@ -33,7 +33,7 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, fields
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 
 class BoundedLRU:
@@ -51,25 +51,61 @@ class BoundedLRU:
     ingest memo tables shared across the concurrent session scheduler's
     workers stay consistent.  ``values()``/``items()`` return
     point-in-time snapshots (callers iterate without holding the lock).
+
+    Every table keeps uniform ``hits`` / ``misses`` / ``evictions``
+    counters, snapshotted by :meth:`stats`.  Passing ``name`` registers
+    :meth:`stats` as a weak source in the observability registry
+    (:data:`repro.obs.REGISTRY`) under ``cache.<name>`` — every memo
+    table and cache in the process shows up in one metrics snapshot
+    without any scrape-time plumbing at the call sites.
     """
 
-    __slots__ = ("capacity", "evictions", "_data", "_lock")
+    __slots__ = (
+        "capacity",
+        "name",
+        "hits",
+        "misses",
+        "evictions",
+        "_data",
+        "_lock",
+        "__weakref__",
+    )
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, name: Optional[str] = None) -> None:
         if capacity < 1:
             raise ValueError("LRU capacity must be >= 1")
         self.capacity = capacity
+        self.name = name
+        self.hits = 0
+        self.misses = 0
         self.evictions = 0
         self._data: Dict[Any, Any] = {}
         self._lock = threading.Lock()
+        if name is not None:
+            from .obs import REGISTRY  # local: keeps module import light
+
+            REGISTRY.register_source(f"cache.{name}", self.stats, weak=True)
 
     def get(self, key: Any, default: Any = None) -> Any:
         with self._lock:
             if key not in self._data:
+                self.misses += 1
                 return default
+            self.hits += 1
             value = self._data.pop(key)
             self._data[key] = value
             return value
+
+    def stats(self) -> Dict[str, int]:
+        """Uniform counter snapshot (stable keys, JSON-native values)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._data),
+                "capacity": self.capacity,
+            }
 
     def __setitem__(self, key: Any, value: Any) -> None:
         with self._lock:
@@ -145,6 +181,13 @@ class IngestCounters:
 #: The process-wide counter instance every layer bumps.
 INGEST = IngestCounters()
 
+# Absorb the ingest counters into the observability registry: they stay
+# plain unlocked ints on the hot paths, and appear as ``ingest.<field>``
+# in every metrics snapshot / Prometheus scrape.
+from .obs import REGISTRY as _OBS_REGISTRY  # noqa: E402  (after INGEST exists)
+
+_OBS_REGISTRY.register_source("ingest", INGEST.snapshot)
+
 
 # -- fast-path gate -------------------------------------------------------------
 
@@ -184,9 +227,13 @@ def register_cache(clear: Callable[[], None]) -> None:
     _CLEARERS.append(clear)
 
 
-def memo_table(capacity: int) -> BoundedLRU:
-    """A :class:`BoundedLRU` auto-registered with :func:`clear_memo_caches`."""
-    table = BoundedLRU(capacity)
+def memo_table(capacity: int, name: Optional[str] = None) -> BoundedLRU:
+    """A :class:`BoundedLRU` auto-registered with :func:`clear_memo_caches`.
+
+    ``name`` additionally registers the table's counters in the
+    observability registry (see :class:`BoundedLRU`).
+    """
+    table = BoundedLRU(capacity, name=name)
     register_cache(table.clear)
     return table
 

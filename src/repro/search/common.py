@@ -32,6 +32,9 @@ from ..cost import (
     sampled_evaluation,
 )
 from ..difftree import DTNode
+from ..obs import REGISTRY as _OBS_REGISTRY
+from ..obs import enabled as _obs_enabled
+from ..obs import trace as _trace
 
 #: Bound of the per-state evaluation cache (entries, LRU-evicted).
 _STATE_CACHE_CAPACITY = 100_000
@@ -155,7 +158,9 @@ class StateEvaluator:
         #: state canonical key -> sampled evaluation.  Bounded LRU: long
         #: serving sessions evict cold states one at a time instead of the
         #: previous wholesale ``.clear()`` that also dropped the incumbent.
-        self._cache: BoundedLRU = BoundedLRU(_STATE_CACHE_CAPACITY)
+        self._cache: BoundedLRU = BoundedLRU(
+            _STATE_CACHE_CAPACITY, name="search.states"
+        )
         #: Canonical keys already given the exhaustive widget pass (at the
         #: cap they were evaluated with) — lets finalize skip a recompute.
         self._exhaustive: Dict[str, int] = {}
@@ -239,6 +244,35 @@ class StateEvaluator:
         self.stats.kernel_sequences_extended = kernel.sequences_extended
 
 
+def _record_search_metrics(result: "SearchResult") -> None:
+    """Absorb one finished run's :class:`SearchStats` into the registry.
+
+    Called once per task (guarded by the task) when observability is
+    enabled: the per-run dataclass counters stay exactly as they were —
+    zero hot-path cost — and the process-wide ``search.*`` /
+    ``cost.kernel.*`` dotted metrics accumulate across runs, which is
+    what a dashboard (or the planned adaptive controller) wants.
+    """
+    reg = _OBS_REGISTRY
+    stats = result.stats
+    reg.counter("search.runs").inc()
+    reg.counter("search.iterations").inc(stats.iterations)
+    reg.counter("search.states_evaluated").inc(stats.states_evaluated)
+    reg.counter("search.states_expanded").inc(stats.states_expanded)
+    reg.counter("search.walk_steps").inc(stats.walk_steps)
+    reg.counter("search.warm_states_seeded").inc(stats.warm_states_seeded)
+    reg.counter("cost.kernel.compiles").inc(stats.kernel_compiles)
+    reg.counter("cost.kernel.full_evals").inc(stats.kernel_full_evals)
+    reg.counter("cost.kernel.delta_evals").inc(stats.kernel_delta_evals)
+    reg.counter("cost.kernel.fallback_evals").inc(stats.kernel_fallback_evals)
+    reg.counter("cost.kernel.sequences_extended").inc(
+        stats.kernel_sequences_extended
+    )
+    reg.histogram("search.elapsed_s").observe(result.elapsed)
+    if math.isfinite(result.best_cost):
+        reg.histogram("search.best_cost").observe(result.best_cost)
+
+
 def finish_search(
     evaluator: StateEvaluator, strategy: str, final_cap: int = 4000
 ) -> SearchResult:
@@ -315,6 +349,9 @@ class SearchTask:
         self.units = 0
         #: Step calls that performed at least one unit.
         self.slices = 0
+        #: Whether this task's stats were absorbed into the metrics
+        #: registry (once per task, on :meth:`result`).
+        self._metrics_recorded = False
 
     # -- introspection ------------------------------------------------------
 
@@ -356,6 +393,11 @@ class SearchTask:
         if self._finished:
             return 0
         clock = self.evaluator.clock
+        # Manual span management keeps the pre-existing try/finally (and
+        # its indentation-heavy body) untouched; when observability is
+        # disabled this is a shared no-op context manager.
+        span = _trace("search.step", strategy=self.strategy)
+        span.__enter__()
         clock.resume()
         performed = 0
         try:
@@ -389,6 +431,7 @@ class SearchTask:
             # The task is idle between slices: another session's work on
             # this thread must not drain this task's time budget.
             clock.pause()
+            span.__exit__(None, None, None)
         if performed:
             self.slices += 1
         return performed
@@ -404,12 +447,16 @@ class SearchTask:
         was_running = clock.running
         clock.resume()  # the final widget pass is active task work
         try:
-            return finish_search(
+            outcome = finish_search(
                 self.evaluator, self.strategy, final_cap=self.final_cap
             )
         finally:
             if not was_running:
                 clock.pause()
+        if not self._metrics_recorded and _obs_enabled():
+            self._metrics_recorded = True
+            _record_search_metrics(outcome)
+        return outcome
 
     # -- strategy body ------------------------------------------------------
 

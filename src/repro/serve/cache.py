@@ -115,9 +115,24 @@ class InterfaceCache:
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
         self._lock = threading.Lock()
+        from ..obs import REGISTRY
+
+        REGISTRY.register_source("serve.cache", self.snapshot, weak=True)
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def snapshot(self) -> dict:
+        """Uniform counter snapshot (same shape as ``BoundedLRU.stats``)."""
+        with self._lock:
+            return {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "evictions": self.stats.evictions,
+                "prefix_hits": self.stats.prefix_hits,
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+            }
 
     @staticmethod
     def key_for(

@@ -46,9 +46,11 @@ as open → run → finish.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import collecting as _collecting, trace as _trace
 from ..core import (
     GeneratedInterface,
     GenerationConfig,
@@ -119,6 +121,14 @@ class PendingSearch:
         self._initial = initial
         self._state = state
         self._finished = False
+        #: Spans collected for this pending search (open + steps + finish).
+        #: The scheduler's lease keeps per-session work single-threaded, so
+        #: plain-list appends are race-free.
+        self.spans: List[dict] = []
+        #: Per-phase wall-clock seconds (``parse_s``/``difftree_s``/...),
+        #: filled by :meth:`IncrementalGenerator.open_search` and
+        #: :meth:`finish`; consumed by report builders.
+        self.timings: Dict[str, float] = {}
 
     @property
     def log_size(self) -> int:
@@ -140,32 +150,36 @@ class PendingSearch:
             raise RuntimeError("PendingSearch.finish() called twice")
         self._finished = True
         service = self._service
-        search_result = self.task.result()
-        elite = service._elite_states(
-            self._mcts, self._initial, search_result.best_state
-        )
-        result = GeneratedInterface(
-            queries=list(self._asts),
-            screen=self._screen,
-            search=search_result,
-            best=search_result.best,
-        )
-        model = self._mcts.model
-        state = self._state
-        with service._lock:
-            state.sequences = service._harvest_sequences(
-                model, (search_result.best_state,) + elite
+        with _collecting(self.spans), _trace("serve.finish", session=self.session_id):
+            search_result = self.task.result()
+            render_started = time.perf_counter()
+            elite = service._elite_states(
+                self._mcts, self._initial, search_result.best_state
             )
-            service.searches_run += 1
-            state.log_len = len(self._asts)
-            state.best = result.difftree
-            state.elite = elite
-        # Bound the cache tags to the snapshot taken at open time: a
-        # concurrent append during the search must not tag this entry
-        # with queries the generated interface never saw.
-        service.cache.put(
-            self._key, result, query_keys=self._query_keys, ctx=service._ctx
-        )
+            result = GeneratedInterface(
+                queries=list(self._asts),
+                screen=self._screen,
+                search=search_result,
+                best=search_result.best,
+            )
+            model = self._mcts.model
+            state = self._state
+            with service._lock:
+                state.sequences = service._harvest_sequences(
+                    model, (search_result.best_state,) + elite
+                )
+                service.searches_run += 1
+                state.log_len = len(self._asts)
+                state.best = result.difftree
+                state.elite = elite
+            # Bound the cache tags to the snapshot taken at open time: a
+            # concurrent append during the search must not tag this entry
+            # with queries the generated interface never saw.
+            service.cache.put(
+                self._key, result, query_keys=self._query_keys, ctx=service._ctx
+            )
+            self.timings["search_s"] = self.task.elapsed
+            self.timings["render_s"] = time.perf_counter() - render_started
         return result
 
 
@@ -255,48 +269,60 @@ class IncrementalGenerator:
         running a single search iteration.  The caller steps
         ``pending.task`` and then calls ``pending.finish()``.
         """
-        stream = self.router.stream(session_id)
-        asts = stream.asts()
-        if not asts:
-            raise ValueError(f"session {session_id!r} has an empty log")
+        spans: List[dict] = []
+        timings: Dict[str, float] = {}
+        with _collecting(spans), _trace("serve.open_search", session=session_id):
+            parse_started = time.perf_counter()
+            stream = self.router.stream(session_id)
+            asts = stream.asts()
+            if not asts:
+                raise ValueError(f"session {session_id!r} has an empty log")
 
-        key = InterfaceCache.key_for(asts, self.screen, self.config)
-        with self._lock:
-            state = self._sessions.setdefault(session_id, _SessionState())
-        cached = self.cache.get(key)
-        if cached is not None:
+            key = InterfaceCache.key_for(asts, self.screen, self.config)
+            timings["parse_s"] = time.perf_counter() - parse_started
             with self._lock:
-                state.log_len = len(asts)
-                state.best = cached.difftree
-                # Elite states describe an older log and would be extended
-                # from the wrong offset on the next append — drop them.
-                state.elite = ()
-            return PendingSearch(self, session_id, cached=cached)
-
-        warm = self._warm_states(state, stream, asts)
-        query_keys = stream.query_keys(end=len(asts))
-        asts, screen, model, initial, engine = prepare_search(
-            asts, screen=self.screen, config=self.config, engine=self.engine
-        )
-        # Prior-run compiled sequences: warm states that graft into the
-        # same difftree reuse their assignments and changed-choice sets,
-        # paying matcher/diff cost only for the appended query pairs.
-        if state.sequences:
-            model.adopt_sequences(state.sequences)
-        mcts = MCTS(model, engine=engine, config=as_mcts_config(self.config))
-        task = mcts.open(initial, warm_states=warm)
-        return PendingSearch(
-            self,
-            session_id,
-            task=task,
-            mcts=mcts,
-            key=key,
-            query_keys=query_keys,
-            asts=tuple(asts),
-            screen=screen,
-            initial=initial,
-            state=state,
-        )
+                state = self._sessions.setdefault(session_id, _SessionState())
+            cached = self.cache.get(key)
+            if cached is not None:
+                with self._lock:
+                    state.log_len = len(asts)
+                    state.best = cached.difftree
+                    # Elite states describe an older log and would be extended
+                    # from the wrong offset on the next append — drop them.
+                    state.elite = ()
+                pending = PendingSearch(self, session_id, cached=cached)
+            else:
+                difftree_started = time.perf_counter()
+                warm = self._warm_states(state, stream, asts)
+                query_keys = stream.query_keys(end=len(asts))
+                asts, screen, model, initial, engine = prepare_search(
+                    asts, screen=self.screen, config=self.config, engine=self.engine
+                )
+                # Prior-run compiled sequences: warm states that graft into
+                # the same difftree reuse their assignments and changed-choice
+                # sets, paying matcher/diff cost only for the appended pairs.
+                if state.sequences:
+                    model.adopt_sequences(state.sequences)
+                timings["difftree_s"] = time.perf_counter() - difftree_started
+                mcts = MCTS(model, engine=engine, config=as_mcts_config(self.config))
+                # Warm seeding inside open() spends search budget, so the
+                # task's active clock (-> ``search_s``) accounts for it.
+                task = mcts.open(initial, warm_states=warm)
+                pending = PendingSearch(
+                    self,
+                    session_id,
+                    task=task,
+                    mcts=mcts,
+                    key=key,
+                    query_keys=query_keys,
+                    asts=tuple(asts),
+                    screen=screen,
+                    initial=initial,
+                    state=state,
+                )
+        pending.spans.extend(spans)
+        pending.timings.update(timings)
+        return pending
 
     def generate(self, session_id: str = DEFAULT_SESSION) -> GeneratedInterface:
         """Interface for the session's current log (cached/warm-started).

@@ -183,6 +183,9 @@ class SessionRouter:
             raise ValueError("need at least one shard")
         self._shards = [_Shard() for _ in range(num_shards)]
         self._stream_factory = stream_factory
+        from ..obs import REGISTRY
+
+        REGISTRY.register_source("serve.router", self.ingest_totals, weak=True)
 
     @property
     def num_shards(self) -> int:

@@ -241,7 +241,7 @@ class Parser:
 #: ``sql text -> AST`` for exact repeats (interning makes the cached AST
 #: shared structure, not a private copy).  Only successful parses are
 #: cached; malformed input re-raises from a fresh parser run.
-_PARSE_MEMO = _memo.memo_table(4096)
+_PARSE_MEMO = _memo.memo_table(4096, name="sqlast.parse")
 
 
 def parse(sql: str) -> N.Node:

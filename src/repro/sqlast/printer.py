@@ -12,7 +12,7 @@ from . import nodes as N
 #: ``interned AST -> rendered SQL``; rendering the same (sub)tree twice —
 #: e.g. interface runtimes re-displaying the current query per widget
 #: interaction — is a lookup instead of a tree walk.
-_RENDER_MEMO = _memo.memo_table(4096)
+_RENDER_MEMO = _memo.memo_table(4096, name="sqlast.render")
 
 
 def to_sql(node: N.Node) -> str:

@@ -20,6 +20,7 @@ PUBLIC_MODULES = (
     "repro.cost",
     "repro.rules",
     "repro.difftree",
+    "repro.obs",
 )
 
 

@@ -390,6 +390,52 @@ class TestThreadedStress:
         for ticket in tickets:
             assert [r.cost for r in ticket.reports] == expected[ticket.session_id]
 
+    def test_observability_does_not_perturb_threaded_results(self):
+        """The same 8-session/4-worker cohort with tracing + telemetry on
+        must deliver bit-for-bit the disabled run's costs, and each
+        report's trace must contain only its own session's spans."""
+        from repro import obs
+
+        scripts = {
+            f"s{i}": [
+                tuple(sdss_session_sql(2, seed=i)[:1]),
+                tuple(sdss_session_sql(2, seed=i)[1:]),
+            ]
+            for i in range(8)
+        }
+
+        def run_cohort():
+            engine = Engine(config=TINY)
+            scheduler = engine.scheduler(slice_iterations=1)
+            for sid, chunks in scripts.items():
+                scheduler.submit(sid, chunks)
+            return scheduler.run(workers=4)
+
+        obs.configure(enabled=False, telemetry=None)
+        baseline = {
+            t.session_id: [r.cost for r in t.reports] for t in run_cohort()
+        }
+        sink = obs.MemoryTelemetry()
+        try:
+            with obs.observed(True, telemetry=sink):
+                tickets = run_cohort()
+        finally:
+            obs.configure(enabled=False, telemetry=None)
+
+        assert all(t.state == "done" for t in tickets)
+        for ticket in tickets:
+            assert [r.cost for r in ticket.reports] == baseline[ticket.session_id]
+            for report in ticket.reports:
+                assert report.trace, "instrumented run must carry spans"
+                for span in report.trace:
+                    session = span.get("tags", {}).get("session")
+                    if session is not None:
+                        assert session == ticket.session_id
+        # Telemetry carried one replayable record per delivered report.
+        assert len(sink.of_type("report")) == sum(
+            len(t.reports) for t in tickets
+        )
+
 
 class TestSessionEviction:
     def test_evicted_session_releases_warm_state(self):
