@@ -1,0 +1,411 @@
+"""BENCH-COLUMNAR: array-encoded structural kernels vs the object-walk reference.
+
+The columnar claim (ISSUE 7): with trees encoded once as parallel int
+arrays (pre/size/level/parent + interned head and graft-key columns —
+see ``repro.difftree.columnar``), the hot structural kernels stop
+walking Python object graphs: anti-unify/graft pair-matching becomes int
+compares over columns with objects materialized only at merge points,
+and canonical keys hash the whole tree in one bottom-up sweep that
+digests each distinct subtree once.
+
+Three configurations run the same operation streams:
+
+* ``reference`` — memo and columnar gates off: the pure object-walk
+  oracles (``anti_unify_reference`` / ``graft_reference`` /
+  ``canonical_key_reference``), recomputing everything per call.
+* ``memo_only`` — fast paths on, columnar off (the PR-5 production path).
+* ``columnar`` — fast paths + columnar on (the production path).
+
+Results must be interchangeable: identical result trees (canonical
+keys) on every operation, and an identical seed-fixed interface cost
+with columnar on and off.
+
+Standalone script (CI smoke target), runnable without pytest:
+
+    PYTHONPATH=src python benchmarks/bench_columnar.py \
+        --distinct 14 --repeat-ops 30 --json BENCH_columnar.json --strict
+
+With ``--strict`` the script exits non-zero unless, for every workload:
+the columnar configuration is >= 3x the reference on the anti-unify,
+graft, and canonical-key microbenches, every tree key matches across
+configurations, and the seed-fixed costs match exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, List, Sequence
+
+from repro import Engine, GenerationConfig, memo
+from repro.difftree import (
+    ColumnarTree,
+    anti_unify,
+    anti_unify_reference,
+    canonical_key_reference,
+    graft,
+    graft_reference,
+    initial_difftree,
+    wrap_ast,
+)
+from repro.difftree.columnar import STATS, Topology
+from repro.engine import get_workload, workload_names
+from repro.layout import Screen
+from repro.sqlast import parse
+import repro.workloads  # noqa: F401  (registers the built-in workloads)
+
+#: Gate configurations: name -> (fast_paths, columnar).
+CONFIGS = (
+    ("reference", False, False),
+    ("memo_only", True, False),
+    ("columnar", True, True),
+)
+
+
+def bench_workloads() -> List[str]:
+    """Growing-log generators plus the synthetic paired-query scenario."""
+    return list(workload_names(tag="growing")) + ["synthetic"]
+
+
+def workload_queries(workload: str, distinct: int, seed: int) -> List[str]:
+    if workload != "synthetic":
+        return get_workload(workload)(distinct, seed=seed)
+    # Synthetic: template families with drifting literals and clause
+    # sets, exercising deep grafts and OPT columns without the SDSS/TPCH
+    # value palettes.
+    queries = []
+    for i in range(distinct):
+        family = i % 3
+        if family == 0:
+            queries.append(
+                f"SELECT c{i % 4}, c{(i + 1) % 4} FROM t{i % 2} "
+                f"WHERE c{i % 4} < {10 + i} AND c{(i + 1) % 4} > {seed + i}"
+            )
+        elif family == 1:
+            queries.append(
+                f"SELECT TOP {5 + i} c0 FROM t{i % 2} "
+                f"WHERE c1 BETWEEN {i} AND {i + 10} ORDER BY c0"
+            )
+        else:
+            queries.append(
+                f"SELECT COUNT(c2) FROM t{i % 2} "
+                f"WHERE c3 IN ({i}, {i + 1}, {i + 2}) GROUP BY c2"
+            )
+    return queries
+
+
+def timed(op: Callable[[], object], repeats: int) -> Dict[str, object]:
+    """Run ``op`` ``repeats`` times cold-started; return timing + result."""
+    memo.clear_memo_caches()
+    result = None
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        result = op()
+    elapsed = time.perf_counter() - t0
+    return {"elapsed_s": elapsed, "result": result}
+
+
+def au_stream(trees: Sequence, reference: bool):
+    """Pairwise anti-unify over consecutive distinct queries."""
+    au = anti_unify_reference if reference else anti_unify
+
+    def op():
+        keys = []
+        for a, b in zip(trees, trees[1:]):
+            keys.append(au(a, b).canonical_key)
+        return keys
+
+    return op
+
+
+def graft_stream(start, trees: Sequence, reference: bool):
+    """Evolve a session tree by grafting each query in turn."""
+    do_graft = graft_reference if reference else graft
+
+    def op():
+        tree = start
+        for query in trees[1:]:
+            tree = do_graft(tree, query)
+        return tree.canonical_key
+
+    return op
+
+
+def key_stream(targets: Sequence, reference: bool, use_cache: bool = True):
+    """Canonical-key every target tree bottom-up vs by recursion."""
+
+    def op():
+        if reference:
+            return [canonical_key_reference(t) for t in targets]
+        return [
+            ColumnarTree.from_node(t).canonical_keys(use_cache=use_cache)[0]
+            for t in targets
+        ]
+
+    return op
+
+
+def run_micro(
+    name: str, make_op: Callable[[bool], Callable[[], object]], repeats: int
+) -> Dict[str, object]:
+    """One microbench across the three gate configurations."""
+    rows: Dict[str, Dict[str, object]] = {}
+    results = {}
+    for config, fast, columnar in CONFIGS:
+        with memo.fast_paths(fast), memo.columnar(columnar):
+            timing = timed(make_op(config == "reference"), repeats)
+        results[config] = timing.pop("result")
+        timing["ops_per_s"] = (
+            repeats / timing["elapsed_s"] if timing["elapsed_s"] > 0 else float("inf")
+        )
+        rows[config] = {k: round(v, 6) for k, v in timing.items()}
+    reference_elapsed = rows["reference"]["elapsed_s"]
+    for config in rows:
+        elapsed = rows[config]["elapsed_s"]
+        rows[config]["speedup"] = (
+            round(reference_elapsed / elapsed, 2) if elapsed > 0 else float("inf")
+        )
+    parity = all(results[c] == results["reference"] for c, _, _ in CONFIGS)
+    return {"bench": name, "parity": parity, "configs": rows}
+
+
+def run_steiner(trees: Sequence, repeats: int, seed: int) -> Dict[str, object]:
+    """Topology (binary-lifting LCA) vs parent-chain walks — exactness + timing.
+
+    Reported for visibility; the strict gate covers the three kernel
+    microbenches (this precompute is a small slice of kernel compile).
+    """
+    import random
+
+    encoded = [ColumnarTree.from_node(t) for t in trees]
+    rng = random.Random(seed)
+    parents: List[List[int]] = [ct.parent for ct in encoded]
+    depths: List[List[int]] = [ct.level for ct in encoded]
+    # One deep synthetic topology rides along: interface trees are
+    # shallow (lifting is a wash there), a spine-heavy tree shows the
+    # O(log) vs O(depth) separation the kernel inherits for free.
+    deep_parent = list(range(-1, 1499))  # pure spine: depth = index
+    deep_depth = [0] * len(deep_parent)
+    for i in range(1, len(deep_parent)):
+        deep_depth[i] = deep_depth[deep_parent[i]] + 1
+    parents.append(deep_parent)
+    depths.append(deep_depth)
+    query_sets = []
+    for parent in parents:
+        query_sets.append(
+            [
+                tuple(rng.randrange(len(parent)) for _ in range(rng.randint(2, 6)))
+                for _ in range(256)
+            ]
+        )
+
+    def naive_steiner(parent: List[int], depth: List[int], touched) -> int:
+        def dist(a: int, b: int) -> int:
+            da, db, d = depth[a], depth[b], 0
+            while da > db:
+                a, da, d = parent[a], da - 1, d + 1
+            while db > da:
+                b, db, d = parent[b], db - 1, d + 1
+            while a != b:
+                a, b, d = parent[a], parent[b], d + 2
+            return d
+
+        order = sorted(touched)
+        total = sum(dist(x, y) for x, y in zip(order, order[1:]))
+        total += dist(order[-1], order[0])
+        return total // 2 + 1
+
+    t0 = time.perf_counter()
+    naive: List[int] = []
+    for _ in range(repeats):
+        naive = [
+            naive_steiner(parent, depth, touched)
+            for parent, depth, sets in zip(parents, depths, query_sets)
+            for touched in sets
+        ]
+    naive_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    lifted: List[int] = []
+    for _ in range(repeats):
+        topos = [Topology(parent) for parent in parents]
+        lifted = [
+            topo.steiner_size(touched)
+            for topo, sets in zip(topos, query_sets)
+            for touched in sets
+        ]
+    lifted_s = time.perf_counter() - t0
+
+    return {
+        "bench": "steiner",
+        "queries": sum(len(s) for s in query_sets),
+        "parity": naive == lifted,
+        "naive_s": round(naive_s, 6),
+        "topology_s": round(lifted_s, 6),
+        "speedup": round(naive_s / lifted_s, 2) if lifted_s > 0 else float("inf"),
+    }
+
+
+def seed_fixed_costs(
+    log: List[str], iterations: int, seed: int
+) -> Dict[str, float]:
+    """Seed-fixed interface cost per gate configuration (must be identical)."""
+    screen = Screen.wide()
+    config = GenerationConfig(
+        time_budget_s=0.0, max_iterations=iterations, seed=seed, final_cap=200
+    )
+    costs = {}
+    for name, fast, columnar in CONFIGS:
+        with memo.fast_paths(fast), memo.columnar(columnar):
+            memo.clear_memo_caches()
+            costs[name] = Engine(screen=screen, config=config).generate(log).cost
+    return costs
+
+
+def run(workload: str, distinct: int, repeats: int, iterations: int, seed: int) -> dict:
+    queries = workload_queries(workload, distinct, seed)
+    asts = [parse(q) for q in queries]
+    trees = [wrap_ast(a) for a in asts]
+    # Key-bench targets: the evolving session trees (merged difftrees
+    # with real internal sharing), not the raw per-query wraps.
+    session = initial_difftree([asts[0]])
+    targets = [session]
+    for tree in trees[1:]:
+        session = graft(session, tree)
+        targets.append(session)
+
+    start = initial_difftree([asts[0]])
+    micro = [
+        run_micro("anti_unify", lambda ref: au_stream(trees, ref), repeats),
+        run_micro("graft", lambda ref: graft_stream(start, trees, ref), repeats),
+        run_micro("canonical_key", lambda ref: key_stream(targets, ref), repeats),
+    ]
+    # Cache-free columnar keying (same digests, no ``_key`` reuse):
+    # reported so the batch sweep's own win is visible next to the
+    # production (cached) number.
+    nocache = run_micro(
+        "canonical_key_nocache",
+        lambda ref: key_stream(targets, ref, use_cache=False),
+        repeats,
+    )
+    steiner = run_steiner(targets, max(1, repeats // 10), seed)
+    costs = seed_fixed_costs(queries, iterations, seed)
+
+    return {
+        "workload": workload,
+        "distinct": distinct,
+        "repeat_ops": repeats,
+        "seed": seed,
+        "micro": micro,
+        "extra": [nocache, steiner],
+        "costs": {k: round(v, 6) for k, v in costs.items()},
+        "cost_parity": len(set(costs.values())) == 1,
+        "columnar_stats": STATS.snapshot(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--distinct", type=int, default=14,
+        help="distinct session queries per workload",
+    )
+    parser.add_argument(
+        "--repeat-ops", type=int, default=30,
+        help="repetitions of each operation stream per configuration",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=6,
+        help="search iterations for the seed-fixed cost check",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload/search seed")
+    parser.add_argument(
+        "--workload",
+        choices=bench_workloads(),
+        action="append",
+        help="scenario(s); default: all",
+    )
+    parser.add_argument("--json", metavar="PATH", help="write machine-readable results")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero unless columnar >= 3x reference with full parity",
+    )
+    args = parser.parse_args(argv)
+    if min(args.distinct, args.repeat_ops, args.iterations) < 1:
+        parser.error("--distinct/--repeat-ops/--iterations must be >= 1")
+    workloads = args.workload or bench_workloads()
+
+    results = [
+        run(w, args.distinct, args.repeat_ops, args.iterations, args.seed)
+        for w in workloads
+    ]
+
+    print(
+        f"\n=== BENCH-COLUMNAR — array kernels vs object walks, "
+        f"{args.distinct} distinct x {args.repeat_ops} reps ==="
+    )
+    header = (
+        f"{'workload':>10}  {'bench':>22}  {'ref s':>9}  {'memo s':>9}  "
+        f"{'col s':>9}  {'col speedup':>11}  {'parity':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for result in results:
+        for row in result["micro"] + result["extra"][:1]:
+            configs = row["configs"]
+            print(
+                f"{result['workload']:>10}  {row['bench']:>22}  "
+                f"{configs['reference']['elapsed_s']:>9.4f}  "
+                f"{configs['memo_only']['elapsed_s']:>9.4f}  "
+                f"{configs['columnar']['elapsed_s']:>9.4f}  "
+                f"{configs['columnar']['speedup']:>10.1f}x  "
+                f"{'OK' if row['parity'] else 'FAIL':>6}"
+            )
+        steiner = result["extra"][1]
+        print(
+            f"{result['workload']:>10}  {'steiner (ungated)':>22}  "
+            f"{steiner['naive_s']:>9.4f}  {'-':>9}  {steiner['topology_s']:>9.4f}  "
+            f"{steiner['speedup']:>10.1f}x  "
+            f"{'OK' if steiner['parity'] else 'FAIL':>6}"
+        )
+        print(
+            f"{'':>10}  {'seed-fixed cost':>22}  "
+            f"{'identical' if result['cost_parity'] else 'DIVERGED':>31}"
+        )
+
+    payload = {
+        "bench": "columnar",
+        "api": "difftree.ColumnarTree + columnar.au_nodes/graft_nodes + Topology",
+        "results": results,
+    }
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    if args.strict:
+        failed = []
+        for result in results:
+            for row in result["micro"]:
+                speedup = row["configs"]["columnar"]["speedup"]
+                if not row["parity"] or speedup < 3.0:
+                    failed.append(f"{result['workload']}:{row['bench']}")
+            if not result["cost_parity"]:
+                failed.append(f"{result['workload']}:cost")
+            if not result["extra"][1]["parity"]:
+                failed.append(f"{result['workload']}:steiner")
+        if failed:
+            print(
+                f"STRICT: acceptance criteria not met for {failed} "
+                f"(need parity and >= 3x columnar speedup on every microbench)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,11 @@ Standalone script (CI smoke target), runnable without pytest:
 
 With ``--strict`` the script exits non-zero unless, for every workload:
 fast-path ingest throughput >= 5x the reference path, the final difftree
-canonical keys match, and the seed-fixed interface costs match exactly.
+canonical keys match, the seed-fixed interface costs match exactly, the
+two cache-key derivations agree across modes (their divergence from
+*each other* is asserted as the expected split), and the anti-unify/
+graft memo tables are demonstrably consulted (direct probe + warm
+re-ingest hits).
 """
 
 from __future__ import annotations
@@ -37,10 +41,12 @@ from typing import Dict, List
 
 from repro import Engine, GenerationConfig
 from repro import memo
-from repro.difftree import extend_difftree, initial_difftree
+from repro.difftree import anti_unify, extend_difftree, graft, initial_difftree, wrap_ast
 from repro.engine import get_workload, workload_names
 from repro.layout import Screen
-from repro.serve import InterfaceCache, LogStream
+from repro.serve import LogStream
+from repro.serve.cache import context_key, log_key_fast, log_key_reference
+from repro.sqlast import parse
 import repro.workloads  # noqa: F401  (registers the built-in workloads)
 
 
@@ -64,38 +70,88 @@ def repetitive_log(workload: str, distinct: int, repeat: int, seed: int) -> List
 
 
 def ingest(
-    log: List[str], screen: Screen, config: GenerationConfig, fast: bool
+    log: List[str],
+    screen: Screen,
+    config: GenerationConfig,
+    fast: bool,
+    cold: bool = True,
 ) -> Dict[str, object]:
     """Run the per-append serving ingest pipeline in one memo mode.
 
     Each append does exactly what a serving session does per query:
     ingest the text (parse/dedup tiers), extend the difftree to express
-    it, and recompute the interface-cache key of the grown log.
+    it, and recompute the interface-cache key of the grown log — via the
+    stream's incrementally maintained :meth:`LogStream.log_key`, the
+    same path ``IncrementalGenerator.open_search`` probes.
+
+    ``cold=False`` keeps the process-wide memo tables warm (a *second*
+    session re-ingesting a familiar log — the scenario the anti-unify/
+    graft memo tables serve, since within one session the evolving tree
+    never repeats a ``(tree, query)`` pair).
+
+    Besides the mode's own ``cache_key``, both key derivations are
+    reported explicitly: the fast set-fingerprint (``log_key_fast``) and
+    the historical initial-difftree key (``log_key_reference``).  Each
+    derivation is mode-independent; the two derivations differ from each
+    other by construction — ``run()`` asserts exactly that split, which
+    is the cross-mode ``cache_key`` prefix divergence visible in
+    BENCH_ingest.json.
     """
+    counters_before = memo.INGEST.snapshot()
     with memo.fast_paths(fast):
-        memo.clear_memo_caches()  # both modes start cold
+        if cold:
+            memo.clear_memo_caches()
         stream = LogStream()
-        asts = []
+        ctx = context_key(screen, config)
         tree = None
         t0 = time.perf_counter()
         for sql in log:
             stream.append(sql)
             ast = stream.ast(-1)
-            asts.append(ast)
             if tree is None:
                 tree = initial_difftree([ast])
             else:
                 tree = extend_difftree(tree, [ast])
-            key = InterfaceCache.key_for(asts, screen, config)
+            key = f"{stream.log_key()}:{ctx}"
         elapsed = time.perf_counter() - t0
+        counters = memo.INGEST.snapshot()
+        fast_key = log_key_fast(stream.query_keys())
+        reference_key = log_key_reference(stream.asts())
     return {
         "elapsed_s": elapsed,
         "qps": len(log) / elapsed if elapsed > 0 else float("inf"),
         "tree_key": tree.canonical_key,
         "cache_key": key,
+        "log_key_fast": fast_key,
+        "log_key_reference": reference_key,
         "parses": stream.parses,
         "parse_hits": stream.parse_hits,
+        "counters": {k: counters[k] - counters_before[k] for k in counters},
     }
+
+
+def memo_probe() -> Dict[str, bool]:
+    """Deterministic wiring check: are the au/graft memo tables consulted?
+
+    Within one ingest run the evolving tree never repeats a ``(tree,
+    query)`` pair, so zero graft hits there is expected — this probe
+    exercises the tables directly: the second identical call must be
+    served from the memo (counter attribution included).
+    """
+    a = wrap_ast(parse("SELECT c0 FROM t0 WHERE c1 < 1"))
+    b = wrap_ast(parse("SELECT c0, c2 FROM t0 WHERE c1 < 2"))
+    with memo.fast_paths(True):
+        memo.clear_memo_caches()
+        anti_unify(a, b)
+        before = memo.INGEST.au_memo_hits
+        anti_unify(a, b)
+        au_consulted = memo.INGEST.au_memo_hits > before
+        tree = initial_difftree([parse("SELECT c0 FROM t0 WHERE c1 < 1")])
+        graft(tree, b)
+        before = memo.INGEST.graft_memo_hits
+        graft(tree, b)
+        graft_consulted = memo.INGEST.graft_memo_hits > before
+    return {"au_consulted": au_consulted, "graft_consulted": graft_consulted}
 
 
 def interface_cost(
@@ -126,10 +182,31 @@ def run(
     )
     log = repetitive_log(workload, distinct, repeat, seed)
 
-    counters_before = memo.INGEST.snapshot()
     reference = ingest(log, screen, config, fast=False)
     fast = ingest(log, screen, config, fast=True)
-    counters_after = memo.INGEST.snapshot()
+    # Second session over a familiar log, memo tables warm: the
+    # anti-unify/graft memo scenario (within one session the evolving
+    # tree never repeats a (tree, query) pair, so cold-run hits are 0).
+    warm = ingest(log, screen, config, fast=True, cold=False)
+
+    # Satellite: the cross-mode cache_key divergence is the derivation
+    # split, not drift — each derivation agrees across modes, the two
+    # derivations differ from each other by construction.
+    key_paths = {
+        "fast_derivation_agrees": fast["log_key_fast"] == reference["log_key_fast"],
+        "reference_derivation_agrees": (
+            fast["log_key_reference"] == reference["log_key_reference"]
+        ),
+        "fast_key_used_in_fast_mode": (
+            fast["cache_key"].split(":")[0] == fast["log_key_fast"]
+        ),
+        "reference_key_used_in_reference_mode": (
+            reference["cache_key"].split(":")[0] == reference["log_key_reference"]
+        ),
+        "derivations_diverge_as_expected": (
+            fast["log_key_fast"] != fast["log_key_reference"]
+        ),
+    }
 
     cost_ref = interface_cost(log, screen, config, fast=False)
     cost_fast = interface_cost(log, screen, config, fast=True)
@@ -147,15 +224,16 @@ def run(
                       for k, v in reference.items()},
         "fast": {k: round(v, 4) if isinstance(v, float) else v
                  for k, v in fast.items()},
+        "warm": {k: round(v, 4) if isinstance(v, float) else v
+                 for k, v in warm.items()},
         "speedup": round(speedup, 2) if speedup is not None else None,
         "tree_parity": fast["tree_key"] == reference["tree_key"],
+        "key_paths": key_paths,
+        "memo_probe": memo_probe(),
+        "warm_graft_memo_hits": warm["counters"]["graft_memo_hits"],
         "cost_reference": round(cost_ref, 6),
         "cost_fast": round(cost_fast, 6),
         "cost_parity": cost_ref == cost_fast,
-        "ingest_counters": {
-            key: counters_after[key] - counters_before[key]
-            for key in counters_after
-        },
     }
 
 
@@ -214,22 +292,30 @@ def main(argv=None) -> int:
     )
     header = (
         f"{'workload':>10}  {'appends':>7}  {'ref q/s':>9}  {'fast q/s':>9}  "
-        f"{'speedup':>8}  {'tree':>5}  {'cost':>5}"
+        f"{'warm q/s':>9}  {'speedup':>8}  {'tree':>5}  {'cost':>5}  "
+        f"{'keys':>5}  {'memo':>5}"
     )
     print(header)
     print("-" * len(header))
     for result in results:
+        memo_ok = (
+            all(result["memo_probe"].values())
+            and result["warm_graft_memo_hits"] >= 1
+        )
         print(
             f"{result['workload']:>10}  {result['appends']:>7}  "
             f"{result['reference']['qps']:>9.0f}  {result['fast']['qps']:>9.0f}  "
+            f"{result['warm']['qps']:>9.0f}  "
             f"{result['speedup']:>7.1f}x  "
             f"{'OK' if result['tree_parity'] else 'FAIL':>5}  "
-            f"{'OK' if result['cost_parity'] else 'FAIL':>5}"
+            f"{'OK' if result['cost_parity'] else 'FAIL':>5}  "
+            f"{'OK' if all(result['key_paths'].values()) else 'FAIL':>5}  "
+            f"{'OK' if memo_ok else 'FAIL':>5}"
         )
 
     payload = {
         "bench": "ingest",
-        "api": "serve.LogStream + difftree.extend_difftree + InterfaceCache.key_for",
+        "api": "serve.LogStream.log_key + difftree.extend_difftree",
         "results": results,
     }
     if args.json:
@@ -243,13 +329,17 @@ def main(argv=None) -> int:
             for r in results
             if not r["tree_parity"]
             or not r["cost_parity"]
+            or not all(r["key_paths"].values())
+            or not all(r["memo_probe"].values())
+            or r["warm_graft_memo_hits"] < 1
             or r["speedup"] is None
             or r["speedup"] < 5.0
         ]
         if failed:
             print(
                 f"STRICT: acceptance criteria not met for {failed} "
-                f"(need tree+cost parity and >= 5x ingest throughput)",
+                f"(need tree+cost parity, explained key paths, consulted "
+                f"memo tables, and >= 5x ingest throughput)",
                 file=sys.stderr,
             )
             return 1

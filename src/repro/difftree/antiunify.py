@@ -22,7 +22,19 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from .. import memo as _memo
 from ..memo import INGEST
-from .dtnodes import ALL, ANY, EMPTY, MULTI, OPT, DTNode, any_node, multi_node, opt_node
+from . import columnar as _columnar
+from .dtnodes import (
+    ALL,
+    ANY,
+    EMPTY,
+    MULTI,
+    OPT,
+    DTNode,
+    any_merge as _any_merge,
+    any_node,
+    multi_node,
+    opt_node,
+)
 from .normalize import normalize
 
 #: ``(a, b) -> _au(a, b)`` over interned subtree pairs.  Repeated template
@@ -54,6 +66,10 @@ def _au(a: DTNode, b: DTNode) -> DTNode:
     if a == b:
         return a
     if _memo.fast_paths_enabled():
+        if _memo.columnar_enabled():
+            # The columnar kernel consults/fills _AU_MEMO per subtree
+            # pair itself (same memo discipline as the recursion below).
+            return _columnar.au_nodes(a, b, memo=_AU_MEMO)
         cached = _AU_MEMO.get((a, b))
         if cached is not None:
             INGEST.au_memo_hits += 1
@@ -119,27 +135,19 @@ def graft(tree: DTNode, query: DTNode) -> DTNode:
         if cached is not None:
             INGEST.graft_memo_hits += 1
             return cached
-        result = normalize(_graft(tree, query))
+        if _memo.columnar_enabled():
+            merged = _columnar.graft_nodes(tree, query)
+        else:
+            merged = _graft(tree, query)
+        result = normalize(merged)
         _GRAFT_MEMO[(tree, query)] = result
         return result
     return normalize(_graft(tree, query))
 
 
-def _any_merge(members: Sequence[DTNode]) -> DTNode:
-    """ANY over ``members``, flattening nested ANY alternatives eagerly.
-
-    The final ``normalize`` would flatten too, but grafting compares
-    subtree sizes mid-merge to pick the cheapest insertion point — an
-    unflattened nested ANY would overstate the growth of exactly the
-    merges that reuse an existing choice domain.
-    """
-    alternatives: List[DTNode] = []
-    for member in members:
-        if member.kind == ANY:
-            alternatives.extend(member.children)
-        else:
-            alternatives.append(member)
-    return any_node(alternatives)
+def graft_reference(tree: DTNode, query: DTNode) -> DTNode:
+    """Unmemoized object-walk :func:`graft` (parity oracle for tests/benches)."""
+    return normalize(_graft(tree, query))
 
 
 def _graft(t: DTNode, q: DTNode) -> DTNode:

@@ -217,6 +217,41 @@ def fast_paths(enabled: bool):
         _fast_paths = previous
 
 
+# -- columnar gate --------------------------------------------------------------
+#
+# Second switch in the same style: the array-encoded structural kernels of
+# :mod:`repro.difftree.columnar` (anti-unify/graft pair-matching over
+# head/fingerprint columns, batch canonical-key hashing).  Columnar is
+# subordinate to the fast-path gate — the reference mode
+# (``fast_paths(False)``) must be the pure object-walk path, so disabling
+# fast paths disables columnar too.
+
+_columnar = True
+
+
+def columnar_enabled() -> bool:
+    """Whether the columnar structural kernels are active (default: yes)."""
+    return _columnar and _fast_paths
+
+
+def set_columnar(enabled: bool) -> None:
+    """Globally enable/disable the columnar kernels (benchmarks/tests)."""
+    global _columnar
+    _columnar = bool(enabled)
+
+
+@contextmanager
+def columnar(enabled: bool):
+    """Temporarily force the columnar gate (restores the prior setting)."""
+    global _columnar
+    previous = _columnar
+    _columnar = bool(enabled)
+    try:
+        yield
+    finally:
+        _columnar = previous
+
+
 # -- memo-table registry --------------------------------------------------------
 
 _CLEARERS: List[Callable[[], None]] = []

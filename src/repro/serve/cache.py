@@ -75,23 +75,48 @@ def query_key(ast: Node) -> str:
     return wrap_ast(ast).canonical_key
 
 
-def log_key(queries: Sequence[Node]) -> str:
-    """Deterministic fingerprint of the query *set*.
+def log_key_fast(query_keys: Sequence[str]) -> str:
+    """Set-fingerprint key derivation over per-query canonical keys.
 
-    Built from the sorted distinct per-query fingerprints, which is the
-    same granularity as the historical initial-difftree key (normalization
-    deduplicates queries and sorts the root ``ANY``'s alternatives) —
-    order- and duplication-insensitive — without rebuilding and
-    normalizing a difftree over the full log on every probe.  With fast
-    paths disabled (the benchmark's reference mode) the historical
-    construction is used instead.
+    Order- and duplication-insensitive (the distinct keys are sorted),
+    which is the same granularity as the reference derivation below —
+    but the two *texts* hash different material, so the derivations
+    yield different digests for the same log by construction.  Both are
+    deterministic; each mode's keys are stable across runs and
+    processes.  ``bench_ingest.py`` asserts exactly this relationship
+    (cross-mode divergence, within-mode agreement).
+    """
+    if not query_keys:
+        raise ValueError("need at least one input query")
+    distinct = sorted(set(query_keys))
+    return hashlib.md5("|".join(distinct).encode("utf-8")).hexdigest()
+
+
+def log_key_reference(queries: Sequence[Node]) -> str:
+    """Historical key derivation: the initial difftree's canonical key.
+
+    Rebuilds and normalizes a difftree over the full log per probe —
+    the pre-PR-5 behavior, kept as the reference-mode derivation and as
+    the oracle the fast derivation's *granularity* is checked against
+    (both deduplicate and ignore order).
     """
     if not queries:
         raise ValueError("need at least one input query")
+    return initial_difftree(queries).canonical_key
+
+
+def log_key(queries: Sequence[Node]) -> str:
+    """Deterministic fingerprint of the query *set*.
+
+    Dispatches on the fast-path gate: :func:`log_key_fast` over the
+    memoized per-query fingerprints normally, :func:`log_key_reference`
+    when fast paths are disabled (the benchmark's reference mode).
+    """
     if not _memo.fast_paths_enabled():
-        return initial_difftree(queries).canonical_key
-    keys = sorted({query_key(ast) for ast in queries})
-    return hashlib.md5("|".join(keys).encode("utf-8")).hexdigest()
+        return log_key_reference(queries)
+    if not queries:
+        raise ValueError("need at least one input query")
+    return log_key_fast([query_key(ast) for ast in queries])
 
 
 def context_key(screen: Screen, config: GenerationConfig) -> str:

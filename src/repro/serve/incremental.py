@@ -278,7 +278,10 @@ class IncrementalGenerator:
             if not asts:
                 raise ValueError(f"session {session_id!r} has an empty log")
 
-            key = InterfaceCache.key_for(asts, self.screen, self.config)
+            # The stream maintains its log fingerprint incrementally
+            # (O(1) when the distinct-query set hasn't grown), replacing
+            # the per-probe whole-log re-key that dominated ingest time.
+            key = f"{stream.log_key()}:{self._ctx}"
             timings["parse_s"] = time.perf_counter() - parse_started
             with self._lock:
                 state = self._sessions.setdefault(session_id, _SessionState())

@@ -14,11 +14,14 @@ from __future__ import annotations
 
 import threading
 import zlib
+from bisect import bisect_left, insort
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import memo as _memo
 from ..difftree import wrap_ast
 from ..memo import INGEST
 from ..sqlast import Node, parse
+from .cache import log_key_fast, log_key_reference
 
 QueryLike = Union[str, Node]
 
@@ -50,6 +53,13 @@ class LogStream:
         self._sql: List[str] = []
         self._asts: List[Node] = []
         self._query_keys: List[str] = []
+        #: Sorted distinct per-query keys, maintained per append — the
+        #: material of :meth:`log_key`.  The digest is cached and only
+        #: invalidated when the distinct *set* grows (duplicate appends
+        #: leave it valid), so keying a session is O(1) amortized
+        #: instead of re-keying the whole log per probe.
+        self._distinct_keys: List[str] = []
+        self._log_key: Optional[str] = None
         self._parse_cache: Dict[str, Node] = (
             parse_cache if parse_cache is not None else {}
         )
@@ -117,7 +127,31 @@ class LogStream:
             self._sql.append(query if isinstance(query, str) else "")
             self._asts.append(ast)
             self._query_keys.append(key)
+            position = bisect_left(self._distinct_keys, key)
+            if (
+                position == len(self._distinct_keys)
+                or self._distinct_keys[position] != key
+            ):
+                insort(self._distinct_keys, key)
+                self._log_key = None
         return len(self._asts)
+
+    def log_key(self) -> str:
+        """The session's current log fingerprint (incrementally maintained).
+
+        Same digest as ``cache.log_key(self.asts())`` in either gate
+        mode, but O(1) on the fast path when the distinct-key set hasn't
+        grown since the last probe — the per-append re-keying of the
+        whole log used to dominate ingest time.
+        """
+        if not self._asts:
+            raise ValueError("need at least one input query")
+        if not _memo.fast_paths_enabled():
+            return log_key_reference(self._asts)
+        key = self._log_key
+        if key is None:
+            key = self._log_key = log_key_fast(self._distinct_keys)
+        return key
 
     def asts(self, end: Optional[int] = None) -> Tuple[Node, ...]:
         """The ingested ASTs (optionally only the first ``end``)."""
@@ -151,6 +185,8 @@ class LogStream:
             del self._sql[length:]
             del self._asts[length:]
             del self._query_keys[length:]
+            self._distinct_keys = sorted(set(self._query_keys))
+            self._log_key = None
         return len(self._asts)
 
 

@@ -1,0 +1,403 @@
+"""Columnar difftree store: round-trips, kernel parity, topology, wiring.
+
+The columnar contract (``repro/difftree/columnar.py``) is *exact*
+interchangeability: ``from_node``/``to_node`` round-trip interned trees
+to the same objects, the array kernels (anti-unify, graft, canonical
+keys, Steiner/LCA) produce results identical to the object-walk
+references on every workload, and the encoding's derived columns obey
+the XPath-accelerator identities (subtree = ``(pre, size)`` range,
+``post = pre - level + size - 1``).  Property-based tests draw random
+query logs and random rewrite walks; workload tests cover the SDSS /
+TPC-H / synthetic generators.
+"""
+
+import json
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro import memo, obs
+from repro.cost import CostModel
+from repro.difftree import (
+    ColumnarTree,
+    Topology,
+    anti_unify,
+    any_node,
+    anti_unify_reference,
+    canonical_key_reference,
+    extend_difftree,
+    graft,
+    graft_reference,
+    initial_difftree,
+    wrap_ast,
+)
+from repro.difftree import columnar as columnar_mod
+from repro.difftree.columnar import STATS
+from repro.difftree.dtnodes import DTNode
+from repro.layout import Screen
+from repro.memo import INGEST
+from repro.serve import LogStream
+from repro.serve.cache import log_key, log_key_fast, log_key_reference
+from repro.sqlast import SYMBOLS, head_symbol, parse
+from repro.sqlast.symbols import SymbolTable
+from repro.workloads import mixed_session_log, sdss_session_sql, tpch_session_sql
+
+_COLUMNS = ["u", "g", "r", "i"]
+_TABLES = ["stars", "galaxies"]
+
+
+@st.composite
+def query_sql(draw):
+    parts = ["select"]
+    if draw(st.booleans()):
+        parts.append(f"top {draw(st.sampled_from([10, 100]))}")
+    parts.append(draw(st.sampled_from(["objid", "ra", "count(*)"])))
+    parts.append(f"from {draw(st.sampled_from(_TABLES))}")
+    num_preds = draw(st.integers(min_value=0, max_value=3))
+    if num_preds:
+        conjuncts = []
+        for _ in range(num_preds):
+            column = draw(st.sampled_from(_COLUMNS))
+            lo = draw(st.integers(min_value=0, max_value=9))
+            conjuncts.append(f"{column} between {lo} and {lo + 5}")
+        parts.append("where " + " and ".join(conjuncts))
+    return " ".join(parts)
+
+
+@st.composite
+def query_log(draw):
+    size = draw(st.integers(min_value=1, max_value=6))
+    return [draw(query_sql()) for _ in range(size)]
+
+
+def workload_logs():
+    return [
+        sdss_session_sql(8, seed=11),
+        tpch_session_sql(8, seed=13),
+        mixed_session_log(8, seed=17),
+    ]
+
+
+def session_trees(log):
+    """The evolving difftrees of a session ingesting ``log``."""
+    asts = [parse(q) if isinstance(q, str) else q for q in log]
+    tree = initial_difftree([asts[0]])
+    trees = [tree]
+    for ast in asts[1:]:
+        tree = extend_difftree(tree, [ast])
+        trees.append(tree)
+    return asts, trees
+
+
+def check_encoding_invariants(tree):
+    """Every structural identity the parallel columns promise."""
+    ct = ColumnarTree.from_node(tree)
+    assert ct.n == tree.size
+    assert ct.to_node() is tree
+    assert ct.parent[0] == -1 and ct.level[0] == 0
+    for i in range(ct.n):
+        node = ct.nodes[i]
+        assert ct.size[i] == node.size
+        assert ct.nkids[i] == len(node.children)
+        assert ct.fp[i] == node._hash
+        kids = list(ct.children_of(i))
+        assert [ct.nodes[j] for j in kids] == list(node.children)
+        for j in kids:
+            assert ct.parent[j] == i
+            assert ct.level[j] == ct.level[i] + 1
+            assert ct.contains(i, j)
+        # Postorder identity: children precede parents, and the ranks
+        # are a permutation of 0..n-1 (checked globally below).
+        for j in kids:
+            assert ct.post(j) < ct.post(i)
+    assert sorted(ct.post(i) for i in range(ct.n)) == list(range(ct.n))
+
+
+class TestRoundTrip:
+    def test_workload_trees_round_trip(self):
+        for log in workload_logs():
+            asts, trees = session_trees(log)
+            for ast in asts:
+                assert ColumnarTree.from_node(ast).to_node() is ast
+                check_encoding_invariants(wrap_ast(ast))
+            for tree in trees:
+                check_encoding_invariants(tree)
+
+    @given(query_log())
+    @settings(max_examples=40, deadline=None)
+    def test_random_trees_round_trip(self, sqls):
+        asts = [parse(s) for s in sqls]
+        tree = initial_difftree(asts)
+        check_encoding_invariants(tree)
+        assert ColumnarTree.from_node(tree).to_node() is tree
+
+    def test_payload_round_trip(self):
+        for log in workload_logs():
+            _, trees = session_trees(log)
+            for tree in trees[-2:]:
+                payload = json.loads(json.dumps(ColumnarTree.from_node(tree).to_payload()))
+                assert ColumnarTree.from_payload(payload).to_node() is tree
+
+    def test_payload_round_trip_ast_mode(self):
+        ast = parse(sdss_session_sql(3, seed=5)[0])
+        ct = ColumnarTree.from_node(ast)
+        assert ct.is_ast
+        payload = json.loads(json.dumps(ct.to_payload()))
+        assert ColumnarTree.from_payload(payload).to_node() is ast
+
+    def test_payload_version_check(self):
+        with pytest.raises(ValueError):
+            ColumnarTree.from_payload({"version": 99})
+
+
+class TestExtend:
+    def test_extend_matches_full_encode(self):
+        _, trees = session_trees(sdss_session_sql(6, seed=23))
+        base = trees[-1]
+        extras = [wrap_ast(parse(q)) for q in tpch_session_sql(3, seed=29)]
+        ct = ColumnarTree.from_node(base)
+        grown = ct.extend(extras)
+        expected_root = DTNode(
+            base.kind, base.label, base.value, base.children + tuple(extras)
+        )
+        assert grown.to_node() is expected_root
+        full = ColumnarTree._encode(expected_root)
+        for column in (
+            "kind", "head", "gkey", "nkids", "size",
+            "parent", "level", "absent", "fp",
+        ):
+            assert getattr(grown, column) == getattr(full, column), column
+        assert grown.nodes == full.nodes
+        # The carried prefix was not re-encoded (O(appended) contract).
+        assert grown.n == ct.n + sum(e.size for e in extras)
+
+    def test_extend_rejects_unary_roots(self):
+        leaf = wrap_ast(parse("select ra from stars"))
+        from repro.difftree import opt_node
+
+        with pytest.raises(ValueError):
+            ColumnarTree.from_node(opt_node(leaf)).extend([leaf])
+
+    def test_extend_empty_is_identity(self):
+        ct = ColumnarTree.from_node(wrap_ast(parse("select ra from stars")))
+        assert ct.extend([]) is ct
+
+
+class TestCanonicalKeys:
+    def test_batch_keys_match_reference(self):
+        for log in workload_logs():
+            _, trees = session_trees(log)
+            for tree in trees:
+                ct = ColumnarTree.from_node(tree)
+                keys = ct.canonical_keys(use_cache=False)
+                assert keys[0] == canonical_key_reference(tree) == tree.canonical_key
+                for i in range(ct.n):
+                    assert keys[i] == ct.nodes[i].canonical_key
+
+    def test_ast_mode_keys_match_wrapped(self):
+        for sql in sdss_session_sql(4, seed=31):
+            ast = parse(sql)
+            keys = ColumnarTree.from_node(ast).canonical_keys()
+            assert keys[0] == wrap_ast(ast).canonical_key
+
+    def test_batch_hook_fires_on_cold_large_trees(self):
+        # Fresh literals so no subtree is already keyed from other tests;
+        # assembled with any_node directly because normalize() keys the
+        # alternatives while sorting them.
+        sqls = [
+            f"select objid from stars where r between {i}.125 and {i}.875"
+            for i in range(40)
+        ]
+        tree = any_node([wrap_ast(parse(s)) for s in sqls])
+        assert tree.size >= 256
+        assert all(c._key is None for c in tree.children)
+        before = STATS.key_batches
+        key = tree.canonical_key
+        assert STATS.key_batches == before + 1
+        assert key == canonical_key_reference(tree)
+
+    def test_batch_hook_skips_warm_trees(self):
+        _, trees = session_trees(tpch_session_sql(6, seed=37))
+        tree = trees[-1]
+        tree.canonical_key  # key everything once
+        before = STATS.key_batches
+        assert tree.canonical_key == canonical_key_reference(tree)
+        assert STATS.key_batches == before
+
+
+class TestKernelParity:
+    def test_workload_anti_unify_and_graft_parity(self):
+        for log in workload_logs():
+            asts, _ = session_trees(log)
+            wrapped = [wrap_ast(a) for a in asts]
+            tree = initial_difftree([asts[0]])
+            for query in wrapped[1:]:
+                with memo.fast_paths(False):
+                    au_ref = anti_unify_reference(tree, query)
+                    graft_ref = graft_reference(tree, query)
+                with memo.columnar(True):
+                    memo.clear_memo_caches()
+                    assert anti_unify(tree, query) is au_ref
+                    assert graft(tree, query) is graft_ref
+                tree = graft_ref
+
+    @given(query_log(), query_log())
+    @settings(max_examples=40, deadline=None)
+    def test_random_pair_parity(self, sqls_a, sqls_b):
+        a = initial_difftree([parse(s) for s in sqls_a])
+        b = initial_difftree([parse(s) for s in sqls_b])
+        with memo.fast_paths(False):
+            au_ref = anti_unify_reference(a, b)
+            graft_ref = graft_reference(a, b)
+        with memo.columnar(True):
+            memo.clear_memo_caches()
+            assert anti_unify(a, b) is au_ref
+            assert graft(a, b) is graft_ref
+
+    def test_columnar_gate_is_subordinate_to_fast_paths(self):
+        assert memo.columnar_enabled()
+        with memo.fast_paths(False):
+            assert not memo.columnar_enabled()
+        with memo.columnar(False):
+            assert not memo.columnar_enabled()
+
+    def test_memo_tables_consulted_with_columnar(self):
+        a = wrap_ast(parse("select ra from stars where u between 1 and 2"))
+        b = wrap_ast(parse("select ra, objid from stars where u between 1 and 3"))
+        with memo.fast_paths(True), memo.columnar(True):
+            memo.clear_memo_caches()
+            anti_unify(a, b)
+            before = INGEST.au_memo_hits
+            anti_unify(a, b)
+            assert INGEST.au_memo_hits > before
+            tree = initial_difftree([parse("select ra from stars")])
+            graft(tree, b)
+            before = INGEST.graft_memo_hits
+            graft(tree, b)
+            assert INGEST.graft_memo_hits > before
+
+
+class TestTopology:
+    def naive_distance(self, parent, depth, a, b):
+        d = 0
+        da, db = depth[a], depth[b]
+        while da > db:
+            a, da, d = parent[a], da - 1, d + 1
+        while db > da:
+            b, db, d = parent[b], db - 1, d + 1
+        while a != b:
+            a, b, d = parent[a], parent[b], d + 2
+        return d
+
+    def test_matches_parent_chain_walks(self):
+        rng = random.Random(41)
+        for log in workload_logs():
+            _, trees = session_trees(log)
+            ct = ColumnarTree.from_node(trees[-1])
+            topo = Topology(ct.parent)
+            for _ in range(200):
+                a = rng.randrange(ct.n)
+                b = rng.randrange(ct.n)
+                expected = self.naive_distance(ct.parent, ct.level, a, b)
+                assert topo.distance(a, b) == expected
+                lca = topo.lca(a, b)
+                assert ct.contains(lca, a) and ct.contains(lca, b)
+            touched = tuple(rng.randrange(ct.n) for _ in range(5))
+            cycle = sum(
+                self.naive_distance(ct.parent, ct.level, x, y)
+                for x, y in zip(sorted(touched), sorted(touched)[1:])
+            ) + self.naive_distance(
+                ct.parent, ct.level, sorted(touched)[-1], sorted(touched)[0]
+            )
+            assert topo.steiner_size(touched) == cycle // 2 + 1
+
+    def test_steiner_degenerate_cases(self):
+        topo = Topology([-1, 0, 0, 1])
+        assert topo.steiner_size(()) == 0
+        assert topo.steiner_size((2,)) == 1
+        assert topo.steiner_size((3, 3)) == 1
+
+    def test_rejects_non_preorder_parents(self):
+        with pytest.raises(ValueError):
+            Topology([1, -1])
+
+    def test_cost_kernel_uses_topology(self):
+        sql = sdss_session_sql(8, seed=43)
+        asts = [parse(q) for q in sql]
+        tree = initial_difftree(asts)
+        with memo.columnar(True):
+            kernel = CostModel(asts, Screen.wide()).kernel_for(tree)
+        with memo.columnar(False):
+            reference = CostModel(asts, Screen.wide()).kernel_for(tree)
+        assert kernel._num_pairs > 0
+        assert kernel.topology is not None
+        assert reference.topology is None
+        assert kernel._pair_steiner == reference._pair_steiner
+
+
+class TestSymbols:
+    def test_interning_is_bijective_and_stable(self):
+        table = SymbolTable()
+        sid = table.id_of(("ALL", "Select", None))
+        assert table.id_of(("ALL", "Select", None)) == sid
+        assert table.symbol_of(sid) == ("ALL", "Select", None)
+        assert ("ALL", "Select", None) in table
+        other = table.id_of(("ANY", None, None))
+        assert other != sid
+        assert len(table) == 2
+        assert table.stats() == {"symbols": 2}
+
+    def test_head_symbol_equality_iff_id_equality(self):
+        a = head_symbol("ALL", "ColExpr", "ra")
+        b = head_symbol("ALL", "ColExpr", "ra")
+        c = head_symbol("ALL", "ColExpr", "dec")
+        assert a == b and a != c
+        assert SYMBOLS.symbol_of(a) == ("ALL", "ColExpr", "ra")
+
+
+class TestObservability:
+    def test_columnar_metrics_registered(self):
+        tree = wrap_ast(parse("select objid from galaxies where g between 3 and 4"))
+        before = STATS.encodes
+        ColumnarTree._encode(tree)
+        assert STATS.encodes == before + 1
+        snap = obs.snapshot()
+        assert "difftree.columnar.encodes" in snap
+        assert "sqlast.symbols.symbols" in snap
+        assert "cache.difftree.columnar.encode.hits" in snap
+
+    def test_encode_memo_serves_repeat_encodings(self):
+        tree = wrap_ast(parse("select ra from stars where i between 5 and 6"))
+        first = ColumnarTree.from_node(tree)
+        assert ColumnarTree.from_node(tree) is first
+
+
+class TestStreamLogKey:
+    def test_matches_cache_derivations_in_both_modes(self):
+        stream = LogStream()
+        stream.append(*sdss_session_sql(5, seed=47))
+        assert stream.log_key() == log_key(stream.asts())
+        assert stream.log_key() == log_key_fast(stream.query_keys())
+        with memo.fast_paths(False):
+            assert stream.log_key() == log_key_reference(stream.asts())
+
+    def test_incremental_maintenance_under_appends_and_truncate(self):
+        sqls = tpch_session_sql(6, seed=53)
+        stream = LogStream()
+        stream.append(sqls[0])
+        first = stream.log_key()
+        stream.append(sqls[0])  # duplicate: key unchanged, cache valid
+        assert stream.log_key() == first
+        stream.append(*sqls[1:])
+        assert stream.log_key() == log_key(stream.asts())
+        stream.truncate(1)
+        assert stream.log_key() == first
+        with pytest.raises(ValueError):
+            LogStream().log_key()
+
+    def test_derivations_diverge_by_construction(self):
+        stream = LogStream()
+        stream.append(*sdss_session_sql(4, seed=59))
+        assert log_key_fast(stream.query_keys()) != log_key_reference(stream.asts())

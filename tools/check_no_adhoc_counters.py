@@ -38,6 +38,10 @@ SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 #: (path relative to src/, global name) pairs allowed to remain.
 ALLOWLIST = {
     ("repro/memo.py", "INGEST"),
+    # Registered with repro.obs via register_source("difftree.columnar", ...);
+    # kept as a plain-slots singleton because the encode/extend hot loops
+    # bump it per node.
+    ("repro/difftree/columnar.py", "STATS"),
 }
 
 #: Class-name suffixes that mark a counter-ish singleton.
