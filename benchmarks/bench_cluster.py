@@ -1,0 +1,410 @@
+"""BENCH-CLUSTER: sharded multi-process serving vs one-process scheduling.
+
+The cluster claim (`repro.serve.cluster.ClusterFront`): when dozens of
+growing-log sessions arrive together, sharding them across N worker
+processes — each running its own `SessionScheduler` over its own engine
+— delivers first interfaces after roughly 1/N of the single-process
+rotation, so the cluster's p95 first-interface latency beats one
+process by >= 2x at 4 workers, with bit-for-bit identical per-session
+costs and difftree fingerprints (iteration-capped seed-fixed searches
+are placement-independent).
+
+Durability rides along: a second cluster run SIGKILLs one worker
+mid-flight and must still complete *every* session with the same final
+costs — survivors rehydrate the dead worker's sessions from the shared
+SQLite snapshot store and continue their scripts mid-conversation.
+
+Standalone script (CI smoke target), runnable without pytest:
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py \
+        --sessions 64 --workers 4 --chunks 2 --chunk-size 2 \
+        --iterations 4 --json BENCH_cluster.json --strict
+
+With ``--strict`` the script exits non-zero unless, for every workload:
+cluster p95 >= 2x better than the single-process scheduler p95, all
+per-session costs *and* fingerprints match, and the kill-one-worker run
+completes every session with identical final costs after recovering at
+least one session.
+
+The p95 gate is hardware-aware: worker processes can only run
+concurrently when the host exposes multiple cores, so on a
+single-core host (``min(workers, cores) < 2``) the >= 2x latency gate
+is reported informationally instead of enforced — parity, completion,
+and crash recovery are *always* enforced, as they are
+placement-independent.  (On one core the cluster is strictly overhead:
+the workers time-share the core and forfeit the single engine's
+cross-session memo sharing.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro import Engine, GenerationConfig
+from repro.engine import get_workload, workload_names
+from repro.serve.cluster import HashRing
+import repro.workloads  # noqa: F401  (registers the built-in workloads)
+
+
+def growing_workloads() -> tuple:
+    """Registered growing-log session generators (sdss, tpch, ...)."""
+    return workload_names(tag="growing")
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1])."""
+    ranked = sorted(values)
+    index = max(0, math.ceil(q * len(ranked)) - 1)
+    return ranked[index]
+
+
+def session_scripts(
+    workload: str, sessions: int, chunks: int, chunk_size: int
+) -> Dict[str, List[Tuple[str, ...]]]:
+    """One growing-log script per session, pairwise cache-independent.
+
+    Parity between the single-process scheduler (one shared
+    ``InterfaceCache`` across all sessions) and the cluster (one cache
+    per worker) is only well-defined when no session's serve hits
+    another session's cache entry: a cross-session hit clears the
+    hitting session's elite carry, so its *next* search depends on
+    whether the colliding session ran in the same cache — i.e. on shard
+    placement.  Workload generators can emit colliding prefixes at
+    small log sizes (seeds 0..63 of the TPC-H session collide 18
+    times at 2 queries), so seeds whose chunk-boundary prefixes map to
+    an already-used cache key are skipped.
+    """
+    from repro.serve.cache import log_key
+    from repro.sqlast import parse
+
+    scripts: Dict[str, List[Tuple[str, ...]]] = {}
+    factory = get_workload(workload)
+    seen_prefix_keys: set = set()
+    seed = 0
+    while len(scripts) < sessions:
+        if seed >= sessions * 50:
+            raise RuntimeError(
+                f"workload {workload!r} cannot produce {sessions} "
+                f"cache-independent sessions of {chunks * chunk_size} queries"
+            )
+        log = factory(chunks * chunk_size, seed=seed)
+        seed += 1
+        asts = [parse(q) if isinstance(q, str) else q for q in log]
+        boundary_keys = [
+            log_key(asts[:end])
+            for end in range(chunk_size, len(asts) + 1, chunk_size)
+        ]
+        if any(key in seen_prefix_keys for key in boundary_keys):
+            continue
+        seen_prefix_keys.update(boundary_keys)
+        scripts[f"{workload}-{len(scripts)}"] = [
+            tuple(log[start : start + chunk_size])
+            for start in range(0, chunks * chunk_size, chunk_size)
+        ]
+    return scripts
+
+
+def run_single(
+    scripts: Dict[str, List[Tuple[str, ...]]],
+    config: GenerationConfig,
+    slice_iterations: int,
+) -> dict:
+    """The baseline: every session on one round-robin scheduler."""
+    engine = Engine(config=config)
+    scheduler = engine.scheduler(
+        policy="round_robin", slice_iterations=slice_iterations
+    )
+    for session_id, chunks in scripts.items():
+        scheduler.submit(session_id, chunks)
+    t0 = time.perf_counter()
+    tickets = scheduler.run()
+    wall_s = time.perf_counter() - t0
+    return {
+        "mode": "single-process",
+        "wall_s": round(wall_s, 3),
+        "all_done": all(t.state == "done" for t in tickets),
+        "first_interface_s": {
+            t.session_id: round(t.first_interface_s, 4) for t in tickets
+        },
+        "costs": {
+            t.session_id: [round(r.cost, 6) for r in t.reports] for t in tickets
+        },
+        "fingerprints": {
+            t.session_id: [r.difftree.canonical_key for r in t.reports]
+            for t in tickets
+        },
+    }
+
+
+def run_cluster(
+    scripts: Dict[str, List[Tuple[str, ...]]],
+    config: GenerationConfig,
+    workers: int,
+    slice_iterations: int,
+    timeout_s: float,
+    kill_worker: Optional[int] = None,
+    kill_after: int = 1,
+) -> dict:
+    """Every session across N worker processes (optionally killing one)."""
+    engine = Engine(config=config)
+    front = engine.cluster(workers=workers, slice_iterations=slice_iterations)
+    try:
+        for session_id, chunks in scripts.items():
+            front.submit(session_id, chunks)
+        t0 = time.perf_counter()
+        tickets = front.run(
+            timeout_s=timeout_s, kill_worker=kill_worker, kill_after=kill_after
+        )
+        wall_s = time.perf_counter() - t0
+        return {
+            "mode": "cluster",
+            "workers": workers,
+            "killed_worker": kill_worker,
+            "wall_s": round(wall_s, 3),
+            "all_done": all(t.state == "done" for t in tickets),
+            "recovered_sessions": sum(1 for t in tickets if t.recovered),
+            "first_interface_s": {
+                t.session_id: round(t.first_interface_s, 4) for t in tickets
+            },
+            "costs": {
+                t.session_id: [round(c, 6) for c in t.costs] for t in tickets
+            },
+            "fingerprints": {
+                t.session_id: list(t.fingerprints) for t in tickets
+            },
+        }
+    finally:
+        front.close()
+
+
+def effective_parallelism(workers: int) -> int:
+    """How many cluster workers can actually run concurrently here."""
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
+    return min(workers, cores)
+
+
+def busiest_worker(session_ids, workers: int) -> int:
+    """The worker the hash ring loads most (the kill run's best target)."""
+    ring = HashRing(range(workers))
+    counts = Counter(ring.node_for(sid) for sid in session_ids)
+    return counts.most_common(1)[0][0]
+
+
+def run(
+    workload: str,
+    sessions: int,
+    workers: int,
+    chunks: int,
+    chunk_size: int,
+    iterations: int,
+    slice_iterations: int,
+    final_cap: int,
+    seed: int,
+    timeout_s: float,
+) -> dict:
+    """Compare single-process vs cluster (+ kill run) on one workload."""
+    config = GenerationConfig(
+        time_budget_s=0.0,  # iteration-capped: equal work, deterministic
+        max_iterations=iterations,
+        seed=seed,
+        final_cap=final_cap,
+    )
+    scripts = session_scripts(workload, sessions, chunks, chunk_size)
+
+    single = run_single(scripts, config, slice_iterations)
+    cluster = run_cluster(scripts, config, workers, slice_iterations, timeout_s)
+    kill = run_cluster(
+        scripts,
+        config,
+        workers,
+        slice_iterations,
+        timeout_s,
+        kill_worker=busiest_worker(scripts, workers),
+        kill_after=max(1, sessions // 8),
+    )
+
+    single_lat = list(single["first_interface_s"].values())
+    cluster_lat = list(cluster["first_interface_s"].values())
+    single_p95 = percentile(single_lat, 0.95)
+    cluster_p95 = percentile(cluster_lat, 0.95)
+    parity = (
+        cluster["costs"] == single["costs"]
+        and cluster["fingerprints"] == single["fingerprints"]
+        and single["all_done"]
+        and cluster["all_done"]
+    )
+    recovery_ok = (
+        kill["all_done"]
+        and kill["costs"] == single["costs"]
+        and kill["recovered_sessions"] >= 1
+    )
+    return {
+        "workload": workload,
+        "sessions": sessions,
+        "workers": workers,
+        "chunks": chunks,
+        "chunk_size": chunk_size,
+        "iterations": iterations,
+        "slice_iterations": slice_iterations,
+        "final_cap": final_cap,
+        "seed": seed,
+        "single": single,
+        "cluster": cluster,
+        "kill_run": kill,
+        "single_p50_s": round(percentile(single_lat, 0.5), 4),
+        "single_p95_s": round(single_p95, 4),
+        "cluster_p50_s": round(percentile(cluster_lat, 0.5), 4),
+        "cluster_p95_s": round(cluster_p95, 4),
+        "p95_speedup": (
+            round(single_p95 / cluster_p95, 3) if cluster_p95 > 0 else None
+        ),
+        "effective_parallelism": effective_parallelism(workers),
+        "p95_gate_enforced": effective_parallelism(workers) >= 2,
+        "parity": parity,
+        "recovery_ok": recovery_ok,
+        "recovered_sessions": kill["recovered_sessions"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sessions", type=int, default=64, help="concurrent sessions per workload"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="cluster worker processes"
+    )
+    parser.add_argument(
+        "--chunks", type=int, default=2, help="growing-log steps per session"
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=2, help="queries appended per step"
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=4, help="search iterations per interface"
+    )
+    parser.add_argument(
+        "--slice", type=int, default=4, dest="slice_iterations",
+        help="iterations per scheduler slice",
+    )
+    parser.add_argument(
+        "--final-cap", type=int, default=120,
+        help="widget-enumeration cap of the final phase",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="search RNG seed")
+    parser.add_argument(
+        "--timeout", type=float, default=600.0, dest="timeout_s",
+        help="per-cluster-run wall-clock bound in seconds",
+    )
+    parser.add_argument(
+        "--workload",
+        choices=growing_workloads(),
+        action="append",
+        help="growing-log scenario(s); default: all registered",
+    )
+    parser.add_argument("--json", metavar="PATH", help="write machine-readable results")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero unless p95 speedup >= 2x with exact parity "
+        "and a clean kill-one-worker recovery",
+    )
+    args = parser.parse_args(argv)
+    if min(args.sessions, args.workers, args.chunks, args.chunk_size,
+           args.iterations) < 1:
+        parser.error(
+            "--sessions/--workers/--chunks/--chunk-size/--iterations must be >= 1"
+        )
+    workloads = args.workload or list(growing_workloads())
+
+    results = []
+    for workload in workloads:
+        results.append(
+            run(
+                workload,
+                args.sessions,
+                args.workers,
+                args.chunks,
+                args.chunk_size,
+                args.iterations,
+                args.slice_iterations,
+                args.final_cap,
+                args.seed,
+                args.timeout_s,
+            )
+        )
+
+    print(
+        f"\n=== BENCH-CLUSTER — {args.workers} workers vs 1 process, "
+        f"{args.sessions} sessions x {args.chunks} growing-log steps, "
+        f"{args.iterations} iterations/search ==="
+    )
+    header = (
+        f"{'workload':>10}  {'1-proc p50':>10}  {'1-proc p95':>10}  "
+        f"{'clust p50':>9}  {'clust p95':>9}  {'speedup':>8}  "
+        f"{'parity':>6}  {'recovery':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for result in results:
+        print(
+            f"{result['workload']:>10}  {result['single_p50_s']:>9.2f}s  "
+            f"{result['single_p95_s']:>9.2f}s  {result['cluster_p50_s']:>8.2f}s  "
+            f"{result['cluster_p95_s']:>8.2f}s  "
+            f"{result['p95_speedup']:>7.2f}x  "
+            f"{'OK' if result['parity'] else 'FAIL'}  "
+            f"{'OK' if result['recovery_ok'] else 'FAIL'}"
+            f" ({result['recovered_sessions']} rehydrated)"
+        )
+
+    payload = {
+        "bench": "cluster",
+        "api": "engine.cluster",
+        "results": results,
+    }
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    if results and not results[0]["p95_gate_enforced"]:
+        print(
+            f"note: host exposes {results[0]['effective_parallelism']} "
+            "concurrent worker(s); the >= 2x p95 gate needs multi-core "
+            "parallelism and is reported informationally only"
+        )
+
+    if args.strict:
+        failed = [
+            r["workload"]
+            for r in results
+            if not r["parity"]
+            or not r["recovery_ok"]
+            or (
+                r["p95_gate_enforced"]
+                and (r["p95_speedup"] is None or r["p95_speedup"] < 2.0)
+            )
+        ]
+        if failed:
+            print(
+                f"STRICT: acceptance criteria not met for {failed} "
+                f"(need parity, clean recovery, and >= 2x p95 speedup "
+                "where the host can parallelize)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

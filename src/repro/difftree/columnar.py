@@ -497,18 +497,30 @@ class ColumnarTree:
 
     # -- wire format -----------------------------------------------------------
 
-    def to_payload(self) -> Dict[str, Any]:
+    def to_payload(self, root: int = 0) -> Dict[str, Any]:
         """JSON-native encoding of the tree (the snapshot wire format).
 
         Symbol ids are process-local, so the payload ships the resolved
         head symbols in a local dictionary; :meth:`from_payload`
-        re-interns them.  Derived columns (gkey/absent/fp/post) and the
-        node objects are reconstructed on load, not shipped.
+        re-interns them through the process-wide :data:`SYMBOLS` table.
+        Derived columns (gkey/fp/post) and the node objects are
+        reconstructed on load, not shipped; the ``absent`` column *is*
+        shipped (version 2) so the receiver can cross-check its
+        re-derivation — a cheap integrity gate against truncated or
+        hand-edited payloads.
+
+        Args:
+            root: preorder index to encode from — a non-zero value ships
+                only that subtree (*partial state*: e.g. one alternative
+                of a session's difftree), rebased to its own preorder.
         """
+        if not 0 <= root < self.n:
+            raise ValueError(f"root index {root} outside [0, {self.n})")
+        end = root + self.size[root]
         local: Dict[int, int] = {}
         heads: List[List[Any]] = []
         head_local: List[int] = []
-        for sid in self.head:
+        for sid in self.head[root:end]:
             li = local.get(sid)
             if li is None:
                 li = len(heads)
@@ -516,27 +528,66 @@ class ColumnarTree:
                 heads.append(list(SYMBOLS.symbol_of(sid)))
             head_local.append(li)
         return {
-            "version": 1,
+            "version": 2,
             "ast": self.is_ast,
-            "n": self.n,
+            "n": end - root,
             "heads": heads,
             "head": head_local,
-            "parent": list(self.parent),
+            "parent": [
+                -1 if i == root else p - root for i, p in
+                zip(range(root, end), self.parent[root:end])
+            ],
+            "absent": list(self.absent[root:end]),
         }
 
     @classmethod
+    def payload_of(cls, node: Optional[TreeNode]) -> Dict[str, Any]:
+        """Payload of an *optional* tree (``None`` = absent state).
+
+        Session snapshots carry slots that may legitimately be empty (a
+        session that has never searched has no best tree); the absent
+        marker keeps "no state" distinguishable from a corrupt payload.
+        """
+        if node is None:
+            return {"version": 2, "absent_state": True}
+        return cls.from_node(node).to_payload()
+
+    @classmethod
+    def node_of(cls, payload: Optional[Dict[str, Any]]) -> Optional[TreeNode]:
+        """Inverse of :meth:`payload_of` (``None`` / absent marker => None)."""
+        if payload is None or payload.get("absent_state"):
+            return None
+        return cls.from_payload(payload).to_node()
+
+    @classmethod
     def from_payload(cls, payload: Dict[str, Any]) -> "ColumnarTree":
-        """Rebuild (and re-intern) a tree from :meth:`to_payload` output."""
-        if payload.get("version") != 1:
-            raise ValueError(f"unsupported payload version {payload.get('version')!r}")
+        """Rebuild (and re-intern) a tree from :meth:`to_payload` output.
+
+        Every head triple is re-interned through the process-wide
+        :data:`repro.sqlast.symbols.SYMBOLS` table (values normalized
+        from their JSON round-trip first), so trees decoded from
+        payloads share head ids — and, via hash-consing, node identity —
+        with trees built natively in this process, no matter how many
+        payloads from how many senders were decoded before.
+        """
+        version = payload.get("version")
+        if version not in (1, 2):
+            raise ValueError(f"unsupported payload version {version!r}")
         n = payload["n"]
         parent = payload["parent"]
-        heads = [tuple(h) for h in payload["heads"]]
         head = payload["head"]
-        if n == 0:
-            raise ValueError("empty payload")
+        if n == 0 or len(parent) != n or len(head) != n:
+            raise ValueError("malformed payload: inconsistent column lengths")
+        heads: List[Tuple[Any, ...]] = []
+        for raw in payload["heads"]:
+            kind, label, value = (_json_value(part) for part in raw)
+            # Re-intern on receive: the canonical (identity-stable) head
+            # tuple is the one the process-wide table hands back.
+            heads.append(SYMBOLS.symbol_of(SYMBOLS.id_of((kind, label, value))))
         kids: List[List[int]] = [[] for _ in range(n)]
         for i in range(1, n):
+            if not 0 <= parent[i] < i:
+                raise ValueError("malformed payload: parent array not preorder")
             kids[parent[i]].append(i)
         is_ast = payload["ast"]
         built: List[Optional[TreeNode]] = [None] * n
@@ -547,7 +598,22 @@ class ColumnarTree:
                 built[i] = N.Node(label, value, children)
             else:
                 built[i] = DTNode(kind, label, value, children)
-        return cls.from_node(built[0])
+        tree = cls.from_node(built[0])
+        shipped_absent = payload.get("absent")
+        if version >= 2 and shipped_absent is not None:
+            if list(shipped_absent) != tree.absent:
+                raise ValueError(
+                    "corrupt payload: shipped absent column disagrees with "
+                    "the re-derived one"
+                )
+        return tree
+
+
+def _json_value(value: Any) -> Any:
+    """Normalize a JSON-round-tripped head component (lists -> tuples)."""
+    if isinstance(value, list):
+        return tuple(_json_value(part) for part in value)
+    return value
 
 
 # -- structural kernels ----------------------------------------------------------

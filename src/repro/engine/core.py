@@ -171,6 +171,13 @@ class Engine:
         #: Searches run by the one-shot/batch verbs (the incremental
         #: service keeps its own count; see :attr:`searches_run`).
         self._direct_searches = 0
+        #: Restore provenance per rehydrated session (reports carry it).
+        self._restored: Dict[str, Dict] = {}
+        #: Called with the session id as the LRU bound evicts a session,
+        #: *before* its state is dropped — the serving cluster's
+        #: :class:`~repro.serve.SnapshotWriter` hooks in here to persist
+        #: evicted state (see ``attach_eviction_hook``).
+        self.session_evicted_hook = None
 
     # -- introspection ------------------------------------------------------
 
@@ -310,7 +317,10 @@ class Engine:
         for old_id in evicted:
             # Outside the handle lock: eviction must also drop the
             # warm-start/compiled-sequence carry and the log stream, or
-            # a bounded session table still leaks serving state.
+            # a bounded session table still leaks serving state.  The
+            # eviction hook sees the session while its state is intact.
+            if self.session_evicted_hook is not None:
+                self.session_evicted_hook(old_id)
             self._drop_session_state(old_id)
         return handle
 
@@ -322,6 +332,7 @@ class Engine:
         """Forget a session's log and warm-start state."""
         with self._sessions_lock:
             self._sessions.pop(session_id, None)
+        self._restored.pop(session_id, None)
         return self._drop_session_state(session_id)
 
     def _touch_session(self, session_id: str) -> None:
@@ -375,6 +386,85 @@ class Engine:
             max_active=max_active,
         )
 
+    def cluster(
+        self,
+        workers: int = 4,
+        store: Optional[str] = None,
+        snapshot_every: int = 1,
+        slice_iterations: Optional[int] = 16,
+        policy: str = "round_robin",
+        start_method: Optional[str] = None,
+    ):
+        """A :class:`~repro.serve.cluster.ClusterFront` over this config.
+
+        The sharded multi-process serving verb: ``workers`` processes
+        each run a :class:`~repro.engine.scheduler.SessionScheduler`
+        over their hash slice of the submitted sessions, snapshotting
+        warm state into ``store`` (a SQLite path; ``None`` = a
+        temporary file the front owns) at delivered-interface
+        boundaries so survivors can rehydrate a dead worker's sessions
+        mid-conversation.
+
+        Workers rebuild their serving state from ``screen``/``config``
+        in their own process — custom ``rules``/``cache``/``router``
+        objects do not transfer and raise here.
+        """
+        if self.rules is not None:
+            raise ValueError(
+                "cluster workers rebuild their rule engine from config; "
+                "custom rules objects are not supported "
+                "(use GenerationConfig.exclude_rules)"
+            )
+        from ..serve.cluster import ClusterFront
+
+        return ClusterFront(
+            screen=self.screen,
+            config=self.config,
+            workers=workers,
+            store=store,
+            snapshot_every=snapshot_every,
+            slice_iterations=slice_iterations,
+            policy=policy,
+            start_method=start_method,
+        )
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot_session(
+        self,
+        session_id: str = DEFAULT_SESSION,
+        accounting: Optional[Dict] = None,
+    ):
+        """Capture a session's full warm state as a durable
+        :class:`~repro.serve.SessionSnapshot` (see its docs for the
+        restore contract)."""
+        from ..serve.snapshot import SessionSnapshot
+
+        return SessionSnapshot.capture(self, session_id, accounting=accounting)
+
+    def restore_snapshot(self, snapshot) -> LogSession:
+        """Rebuild a snapshotted session in this engine; returns its handle.
+
+        Accepts a :class:`~repro.serve.SessionSnapshot` or a raw payload
+        dict.  Existing state under the same id is replaced.  Raises
+        :class:`~repro.serve.SnapshotError` on version/context mismatch
+        or corrupt state.
+        """
+        from ..serve.snapshot import SessionSnapshot
+
+        if isinstance(snapshot, dict):
+            snapshot = SessionSnapshot.from_payload(snapshot)
+        session_id = snapshot.restore(self)
+        return self.session(session_id)
+
+    def _note_restored(self, session_id: str, info: Dict) -> None:
+        """Record restore provenance (reports for the session carry it)."""
+        self._restored[session_id] = dict(info)
+
+    def restored_session(self, session_id: str) -> Optional[Dict]:
+        """Restore provenance for a session (None when never restored)."""
+        return self._restored.get(session_id)
+
     def _incremental_service(self) -> IncrementalGenerator:
         if self._incremental is None:
             self._incremental = IncrementalGenerator(
@@ -411,6 +501,7 @@ class Engine:
             cache_stats=self.cache_stats,
             ingest_stats=self.ingest_stats,
             timings=timings,
+            snapshot=self._restored.get(session_id),
         )
         report.trace = spans
         _emit_report(report, verb="session.interface")

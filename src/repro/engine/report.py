@@ -18,9 +18,11 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..core import GeneratedInterface
 
 #: Bump when the ``to_dict`` wire shape changes.  Version 2 added the
-#: ``trace`` section and guaranteed per-phase ``timings`` keys — both
-#: additive, so schema-v1 consumers keep reading v2 envelopes.
-REPORT_SCHEMA_VERSION = 2
+#: ``trace`` section and guaranteed per-phase ``timings`` keys; version
+#: 3 added ``provenance.snapshot`` (set when the session was rehydrated
+#: from a durable snapshot).  All additive, so older consumers keep
+#: reading newer envelopes.
+REPORT_SCHEMA_VERSION = 3
 
 #: Phase keys every report's ``timings`` dict carries (0.0 when a phase
 #: did not run for that verb — e.g. a cache hit searches for 0 s).
@@ -83,6 +85,11 @@ class GenerationReport:
             admission (``queue_wait_s``), submission-to-delivery
             ``latency_s``, and how the search was sliced (``slices``,
             ``preemptions``, ``iterations``).
+        snapshot: restore provenance when the serving session was
+            rehydrated from a durable
+            :class:`~repro.serve.SessionSnapshot` (``None`` for never-
+            restored sessions): the restored generation and snapshot
+            schema version.  Additive to schema_version 3.
     """
 
     result: GeneratedInterface
@@ -96,6 +103,7 @@ class GenerationReport:
     timings: Dict[str, float] = field(default_factory=dict)
     scheduling: Optional[Dict[str, Any]] = None
     trace: List[Dict[str, Any]] = field(default_factory=list)
+    snapshot: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.source not in SOURCES:
@@ -161,6 +169,11 @@ class GenerationReport:
                 "warm_states_seeded": self.warm_states_seeded,
                 "cache": dict(self.cache_stats),
                 "ingest": dict(self.ingest_stats),
+                "snapshot": (
+                    _jsonable(dict(self.snapshot))
+                    if self.snapshot is not None
+                    else None
+                ),
             },
             "scheduling": (
                 _jsonable(dict(self.scheduling))

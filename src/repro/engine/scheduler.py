@@ -508,6 +508,7 @@ class SessionScheduler:
                 **scheduling_extra,
             },
             trace=list(pending.spans),
+            snapshot=engine.restored_session(ticket.session_id),
         )
         _emit_report(report, verb="scheduler")
         return report

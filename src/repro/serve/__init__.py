@@ -13,6 +13,11 @@ pipeline:
   prior run's transposition table and incumbent.
 * :func:`generate_interfaces_batch` — fans independent logs across a
   process pool with a shared config.
+* :class:`SessionSnapshot` / :class:`SnapshotStore` /
+  :class:`SnapshotWriter` — durable capture + restore of a session's
+  full warm state (write-behind, generation-guarded).
+* :class:`ClusterFront` — sharded multi-process serving with
+  consistent-hash routing and snapshot-backed crash recovery.
 """
 
 from .batch import EXECUTORS, generate_interfaces_batch
@@ -24,7 +29,18 @@ from .cache import (
     log_key,
     query_key,
 )
+from .cluster import ClusterError, ClusterFront, ClusterTicket, HashRing
 from .incremental import DEFAULT_SESSION, IncrementalGenerator, PendingSearch
+from .snapshot import SNAPSHOT_SCHEMA_VERSION, SessionSnapshot, SnapshotError
+from .store import (
+    MemorySnapshotStore,
+    SnapshotStore,
+    SnapshotStoreError,
+    SnapshotWriter,
+    SQLiteSnapshotStore,
+    StaleSnapshotError,
+    open_store,
+)
 from .stream import LogStream, SessionRouter
 
 __all__ = [
@@ -41,4 +57,18 @@ __all__ = [
     "DEFAULT_SESSION",
     "generate_interfaces_batch",
     "EXECUTORS",
+    "SessionSnapshot",
+    "SnapshotError",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "SnapshotStore",
+    "MemorySnapshotStore",
+    "SQLiteSnapshotStore",
+    "SnapshotWriter",
+    "SnapshotStoreError",
+    "StaleSnapshotError",
+    "open_store",
+    "ClusterFront",
+    "ClusterTicket",
+    "ClusterError",
+    "HashRing",
 ]

@@ -1,0 +1,804 @@
+"""Sharded multi-process serving with snapshot-backed crash recovery.
+
+:class:`ClusterFront` spawns ``N`` worker processes, each running a
+:class:`~repro.engine.scheduler.SessionScheduler` over its own
+:class:`~repro.engine.Engine`, and routes sessions to workers by
+consistent hashing over the session id (:class:`HashRing`).  RPC is
+plain pickled dicts over :func:`multiprocessing.Pipe` — one duplex
+connection per worker.
+
+Durability comes from the snapshot layer: each worker persists every
+session's warm state into a shared :class:`~repro.serve.store`
+(one WAL-mode SQLite file) at delivered-interface boundaries, *before*
+acknowledging the delivery to the front.  When the front detects a dead
+worker (process exit or broken pipe), it drains the pipe's buffered
+messages, removes the worker from the hash ring, and re-dispatches the
+dead worker's unfinished sessions to survivors with ``restore=True`` —
+the survivor rehydrates the session from its snapshot
+mid-conversation and continues the script.
+
+**Replay dedup.**  A worker may die between writing a snapshot and
+sending the corresponding ``served`` message, so a restored snapshot can
+cover chunks the front never saw acknowledged — or, conversely, the
+front may have acknowledgements the (older) snapshot predates.  Both
+races resolve the same way: re-dispatch always carries the session's
+*full* chunk script; the restoring worker replays the chunks its
+snapshot accounting already covers (emitting their recorded results
+without touching the log) and re-serves the rest; the front deduplicates
+deliveries by absolute chunk index.  Iteration-capped seed-fixed
+searches make the re-served results bit-identical to what the dead
+worker would have produced, because both derive deterministically from
+the same snapshotted warm state.
+
+Metrics: the front counts routed/migrated/recovered sessions and tracks
+per-worker queue-depth gauges in its own :data:`repro.obs.REGISTRY`;
+each worker ships its full registry snapshot back in its ``drained``
+reply, and the front merges them (numeric sum) under the
+``serve.cluster.workers.*`` source.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import os
+import signal
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import REGISTRY as _REGISTRY
+from .stream import QueryLike
+
+#: RPC operations the front sends to workers.
+FRONT_OPS = ("serve", "drain", "stop")
+#: RPC operations workers send to the front.
+WORKER_OPS = ("ready", "served", "session_failed", "drained", "worker_error")
+
+
+class ClusterError(RuntimeError):
+    """The cluster cannot make progress (e.g. every worker died)."""
+
+
+class ClusterTimeout(ClusterError):
+    """``run(timeout_s=...)`` expired before every session finished."""
+
+
+@dataclass
+class ClusterStats:
+    """Hot-path cluster counters (front and worker sides share the class;
+    each process mutates its own instance).  Registered as the
+    ``serve.cluster`` metric source."""
+
+    dispatches: int = 0  #: serve messages sent (front).
+    deliveries: int = 0  #: interfaces served fresh (worker).
+    replays: int = 0  #: deliveries replayed from snapshot accounting (worker).
+    restores: int = 0  #: sessions rehydrated from the store (worker).
+    deaths: int = 0  #: dead workers detected (front).
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "dispatches": self.dispatches,
+            "deliveries": self.deliveries,
+            "replays": self.replays,
+            "restores": self.restores,
+            "deaths": self.deaths,
+        }
+
+
+STATS = ClusterStats()
+_REGISTRY.register_source("serve.cluster", STATS.snapshot, weak=True)
+
+
+class HashRing:
+    """Consistent hashing of session ids onto worker ids.
+
+    Each worker owns ``replicas`` virtual points on a 32-bit ring
+    (blake2b of ``"worker:{id}#{replica}"``); a session maps to the first
+    point clockwise of its own hash.  Removing a dead worker moves only
+    its slice — surviving sessions keep their placement, which is what
+    makes mid-run remapping cheap.
+    """
+
+    def __init__(self, nodes: Sequence[int], replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._nodes: List[int] = []
+        self._points: List[Tuple[int, int]] = []  # (hash, node), sorted
+        for node in nodes:
+            self.add(node)
+
+    @staticmethod
+    def _hash(text: str) -> int:
+        # crc32 clusters badly on the near-identical ids real sessions
+        # use ("s01", "s02", ...); a cryptographic digest spreads them.
+        digest = hashlib.blake2b(text.encode("utf-8"), digest_size=4).digest()
+        return int.from_bytes(digest, "big")
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        return tuple(self._nodes)
+
+    def add(self, node: int) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node} already on the ring")
+        self._nodes.append(node)
+        for replica in range(self.replicas):
+            point = (self._hash(f"worker:{node}#{replica}"), node)
+            bisect.insort(self._points, point)
+
+    def remove(self, node: int) -> None:
+        if node not in self._nodes:
+            raise KeyError(f"node {node} not on the ring")
+        self._nodes.remove(node)
+        self._points = [p for p in self._points if p[1] != node]
+
+    def node_for(self, session_id: str) -> int:
+        """The worker owning ``session_id`` (raises when the ring is empty)."""
+        if not self._points:
+            raise ClusterError("hash ring is empty: no live workers")
+        key = self._hash(session_id)
+        index = bisect.bisect_left(self._points, (key, -1))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _queue_depth(scheduler) -> int:
+    return sum(1 for t in scheduler.tickets() if not t.finished)
+
+
+def _worker_main(
+    worker_id: int,
+    conn,
+    store_path: str,
+    screen,
+    config,
+    options: Dict[str, Any],
+) -> None:
+    """One worker process: a scheduler-driven engine behind a pipe.
+
+    Module-level (spawn-safe).  Protocol: see the module docstring;
+    snapshots are written *before* each ``served`` message so every
+    acknowledged delivery is recoverable.
+    """
+    # Deferred imports: the parent may use the spawn start method, where
+    # this function is unpickled in a fresh interpreter.
+    from ..engine.core import Engine
+    from .store import SnapshotWriter, open_store
+
+    try:
+        engine = Engine(screen=screen, config=config)
+        scheduler = engine.scheduler(
+            slice_iterations=options.get("slice_iterations", 16),
+            policy=options.get("policy", "round_robin"),
+        )
+        store = open_store(store_path)
+        writer = SnapshotWriter(
+            store, engine, every_appends=options.get("snapshot_every", 1)
+        )
+        writer.attach_eviction_hook()
+        #: session id -> {"delivered": chunks durable, "reports": [records]}
+        accounting: Dict[str, Dict[str, Any]] = {}
+        #: session id -> absolute index of its first locally-scheduled chunk.
+        base: Dict[str, int] = {}
+        #: session id -> locally delivered report count already emitted.
+        emitted: Dict[str, int] = {}
+        failed: set = set()
+        conn.send({"op": "ready", "worker": worker_id})
+
+        def emit_new_reports() -> None:
+            for ticket in scheduler.tickets():
+                sid = ticket.session_id
+                known = emitted.get(sid, 0)
+                while known < len(ticket.reports):
+                    report = ticket.reports[known]
+                    absolute = base[sid] + known
+                    record = {
+                        "chunk": absolute,
+                        "cost": report.cost,
+                        "fingerprint": report.difftree.canonical_key,
+                        "source": report.source,
+                        "log_size": report.log_size,
+                    }
+                    acc = accounting[sid]
+                    acc["reports"].append(record)
+                    acc["delivered"] = absolute + 1
+                    known += 1
+                    emitted[sid] = known
+                    # Durability before acknowledgement: once the front
+                    # sees this message, a crash must be recoverable.
+                    writer.on_delivered(sid, accounting=acc)
+                    STATS.deliveries += 1
+                    conn.send(
+                        {
+                            "op": "served",
+                            "worker": worker_id,
+                            "session": sid,
+                            "replayed": False,
+                            "queue_depth": _queue_depth(scheduler),
+                            **record,
+                        }
+                    )
+                if (
+                    ticket.finished
+                    and ticket.state == "failed"
+                    and sid not in failed
+                ):
+                    failed.add(sid)
+                    conn.send(
+                        {
+                            "op": "session_failed",
+                            "worker": worker_id,
+                            "session": sid,
+                            "error": ticket.error,
+                        }
+                    )
+
+        def handle_serve(msg: Dict[str, Any]) -> None:
+            sid = msg["session"]
+            chunks = [tuple(chunk) for chunk in msg["chunks"]]
+            acc: Dict[str, Any] = {"delivered": 0, "reports": []}
+            offset = 0
+            if msg.get("restore"):
+                snapshot = store.load_snapshot(sid)
+                if snapshot is not None:
+                    try:
+                        snapshot.restore(engine)
+                    except Exception:
+                        # A snapshot that will not restore is abandoned:
+                        # serving the full script from scratch is always
+                        # correct (and, seeds being fixed, identical).
+                        engine.drop_session(sid)
+                    else:
+                        STATS.restores += 1
+                        writer.note_restored(sid, snapshot.generation)
+                        acc["reports"] = [
+                            dict(r)
+                            for r in snapshot.accounting.get("reports", [])
+                        ]
+                        acc["delivered"] = int(
+                            snapshot.accounting.get(
+                                "delivered", len(acc["reports"])
+                            )
+                        )
+                        offset = acc["delivered"]
+                        covered = sum(len(c) for c in chunks[:offset])
+                        if covered != snapshot.generation:
+                            # Snapshot off a chunk boundary (foreign
+                            # accounting): restart cold, same results.
+                            engine.drop_session(sid)
+                            acc = {"delivered": 0, "reports": []}
+                            offset = 0
+            accounting[sid] = acc
+            base[sid] = offset
+            emitted[sid] = 0
+            for record in acc["reports"]:
+                if record["chunk"] < offset:
+                    STATS.replays += 1
+                    conn.send(
+                        {
+                            "op": "served",
+                            "worker": worker_id,
+                            "session": sid,
+                            "replayed": True,
+                            "queue_depth": _queue_depth(scheduler),
+                            **record,
+                        }
+                    )
+            remaining = chunks[offset:]
+            if remaining:
+                scheduler.submit(sid, remaining)
+
+        draining = False
+        while True:
+            busy = not scheduler.idle
+            if conn.poll(0.0 if busy else 0.05):
+                try:
+                    msg = conn.recv()
+                except EOFError:
+                    return  # front is gone; nothing to report to
+                op = msg.get("op")
+                if op == "serve":
+                    handle_serve(msg)
+                elif op == "drain":
+                    draining = True
+                elif op == "stop":
+                    return
+                continue
+            if busy:
+                scheduler.step()
+                emit_new_reports()
+            elif draining:
+                written = writer.drain(
+                    accounting_for=lambda sid: accounting.get(sid)
+                )
+                conn.send(
+                    {
+                        "op": "drained",
+                        "worker": worker_id,
+                        "snapshots": written,
+                        "metrics": _REGISTRY.snapshot(),
+                    }
+                )
+                draining = False  # drained; wait for "stop"
+    except (BrokenPipeError, OSError):
+        return  # front closed the pipe under us
+    except Exception as exc:  # noqa: BLE001 - shipped to the front
+        try:
+            conn.send(
+                {"op": "worker_error", "worker": worker_id, "error": repr(exc)}
+            )
+        except (BrokenPipeError, OSError):
+            pass
+        raise
+
+
+# ---------------------------------------------------------------------------
+# Front side
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClusterTicket:
+    """One submitted session script and its cluster-side account.
+
+    Attributes:
+        session_id: the serving session the script belongs to.
+        chunks: the query batches, in order (the full script is re-sent
+            on recovery; workers dedup via snapshot accounting).
+        state: ``queued`` → ``active`` → ``done`` / ``failed``.
+        worker: the worker currently (or last) serving the session.
+        worker_history: every worker the session was dispatched to.
+        reports: delivered-chunk records keyed by absolute chunk index:
+            ``{"chunk", "cost", "fingerprint", "source", "log_size",
+            "replayed", "worker"}``.  Duplicates (re-served chunks after
+            a recovery) keep the first-received record.
+        first_interface_s: dispatch-to-first-delivery latency — the
+            cluster benchmark's headline metric.
+        recovered: the session was remapped off a dead worker.
+        error: worker-reported failure when ``state == "failed"``.
+    """
+
+    session_id: str
+    chunks: List[Tuple[QueryLike, ...]]
+    state: str = "queued"
+    worker: Optional[int] = None
+    worker_history: List[int] = field(default_factory=list)
+    reports: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    dispatched_at: Optional[float] = None
+    first_interface_s: Optional[float] = None
+    recovered: bool = False
+    error: Optional[str] = None
+    seq: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed")
+
+    @property
+    def costs(self) -> List[float]:
+        """Delivered costs in chunk order."""
+        return [self.reports[i]["cost"] for i in sorted(self.reports)]
+
+    @property
+    def fingerprints(self) -> List[str]:
+        """Delivered difftree canonical keys in chunk order."""
+        return [self.reports[i]["fingerprint"] for i in sorted(self.reports)]
+
+
+class _WorkerHandle:
+    def __init__(self, worker_id: int, process, conn) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        self.alive = True
+        self.recovered = False  # sessions already remapped off it
+        self.drained = False
+        self.error: Optional[str] = None
+
+
+class ClusterFront:
+    """Routes session scripts across worker processes; survives crashes.
+
+    Obtained from :meth:`Engine.cluster`.  Typical use::
+
+        front = engine.cluster(workers=4, store="snapshots.sqlite")
+        for sid, chunks in scripts.items():
+            front.submit(sid, chunks)
+        tickets = front.run()
+        for ticket in tickets:
+            print(ticket.session_id, ticket.first_interface_s, ticket.costs)
+
+    Args:
+        screen / config: the serving context every worker rebuilds.
+        workers: worker process count.
+        store: SQLite snapshot-store path shared by the workers
+            (``None`` = a temporary file the front creates and removes).
+        snapshot_every: write-behind threshold — snapshot a session once
+            this many appends accumulated since its last snapshot.
+        slice_iterations / policy: per-worker scheduler settings.
+        replicas: virtual points per worker on the hash ring.
+        start_method: multiprocessing start method (default: ``fork``
+            when available, else the platform default).
+    """
+
+    def __init__(
+        self,
+        screen=None,
+        config=None,
+        workers: int = 4,
+        store: Optional[str] = None,
+        snapshot_every: int = 1,
+        slice_iterations: Optional[int] = 16,
+        policy: str = "round_robin",
+        replicas: int = 64,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if snapshot_every < 1:
+            raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every}")
+        from ..core import GenerationConfig
+        from ..layout import Screen
+
+        self.screen = screen or Screen.wide()
+        self.config = config or GenerationConfig()
+        self.workers = workers
+        self._owns_store = store is None
+        if store is None:
+            fd, path = tempfile.mkstemp(prefix="repro-cluster-", suffix=".sqlite")
+            os.close(fd)
+            self.store_path = path
+        else:
+            self.store_path = os.fspath(store)
+        self.snapshot_every = snapshot_every
+        self.slice_iterations = slice_iterations
+        self.policy = policy
+        self._replicas = replicas
+        self._start_method = start_method
+        self._ring = HashRing(range(workers), replicas=replicas)
+        self._handles: Dict[int, _WorkerHandle] = {}
+        self._tickets: Dict[str, ClusterTicket] = {}
+        self._worker_metrics: Dict[int, Dict[str, Any]] = {}
+        self._seq = 0
+        self._started = False
+        self._unique_deliveries = 0
+        _REGISTRY.register_source(
+            "serve.cluster.workers", self.merged_worker_metrics, weak=True
+        )
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self, session_id: str, chunks: Sequence[Sequence[QueryLike]]
+    ) -> ClusterTicket:
+        """Queue a session script (dispatched when :meth:`run` starts)."""
+        cleaned = [tuple(chunk) for chunk in chunks if len(tuple(chunk))]
+        if not cleaned:
+            raise ValueError("a session script needs at least one non-empty chunk")
+        existing = self._tickets.get(session_id)
+        if existing is not None and not existing.finished:
+            raise ValueError(
+                f"session {session_id!r} already has an unfinished ticket"
+            )
+        self._seq += 1
+        ticket = ClusterTicket(
+            session_id=session_id, chunks=cleaned, seq=self._seq
+        )
+        self._tickets[session_id] = ticket
+        return ticket
+
+    def tickets(self) -> List[ClusterTicket]:
+        """All tickets, in submission order."""
+        return sorted(self._tickets.values(), key=lambda t: t.seq)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _mp_context(self):
+        import multiprocessing
+
+        if self._start_method is not None:
+            return multiprocessing.get_context(self._start_method)
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0]
+        )
+
+    def _start_workers(self) -> None:
+        ctx = self._mp_context()
+        options = {
+            "slice_iterations": self.slice_iterations,
+            "policy": self.policy,
+            "snapshot_every": self.snapshot_every,
+        }
+        for worker_id in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_worker_main,
+                args=(
+                    worker_id,
+                    child_conn,
+                    self.store_path,
+                    self.screen,
+                    self.config,
+                    options,
+                ),
+                name=f"repro-cluster-worker-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._handles[worker_id] = _WorkerHandle(
+                worker_id, process, parent_conn
+            )
+        self._started = True
+
+    def kill_worker(self, worker_id: int) -> bool:
+        """SIGKILL a worker (the benchmark's crash-injection hook)."""
+        handle = self._handles.get(worker_id)
+        if handle is None or not handle.process.is_alive():
+            return False
+        os.kill(handle.process.pid, signal.SIGKILL)
+        handle.process.join(timeout=5)
+        return True
+
+    def run(
+        self,
+        timeout_s: Optional[float] = None,
+        kill_worker: Optional[int] = None,
+        kill_after: int = 1,
+    ) -> List[ClusterTicket]:
+        """Serve every submitted script to completion; returns the tickets.
+
+        Args:
+            timeout_s: overall wall-clock bound (:class:`ClusterTimeout`
+                on expiry; workers are torn down).
+            kill_worker: crash injection — SIGKILL this worker id once
+                ``kill_after`` unique chunk deliveries have been
+                observed, then let recovery finish the run.
+        """
+        pending = [t for t in self.tickets() if not t.finished]
+        if not pending:
+            return self.tickets()
+        if not self._started:
+            self._start_workers()
+        for ticket in pending:
+            self._dispatch(ticket, self._ring.node_for(ticket.session_id))
+            _REGISTRY.counter("serve.cluster.sessions_routed").inc()
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        killed = kill_worker is None
+        try:
+            while any(not t.finished for t in self._tickets.values()):
+                progressed = self._pump()
+                self._reap_dead()
+                if not killed and self._unique_deliveries >= kill_after:
+                    self.kill_worker(kill_worker)
+                    killed = True
+                if deadline is not None and time.monotonic() > deadline:
+                    raise ClusterTimeout(
+                        f"cluster run exceeded {timeout_s}s with "
+                        f"{sum(1 for t in self._tickets.values() if not t.finished)}"
+                        " session(s) unfinished"
+                    )
+                if not progressed:
+                    time.sleep(0.002)
+            self._drain_workers()
+        finally:
+            self._shutdown()
+        return self.tickets()
+
+    # -- message plumbing ----------------------------------------------------
+
+    def _dispatch(self, ticket: ClusterTicket, worker_id: int) -> None:
+        handle = self._handles[worker_id]
+        restore = ticket.worker is not None
+        ticket.worker = worker_id
+        ticket.worker_history.append(worker_id)
+        ticket.state = "active"
+        if ticket.dispatched_at is None:
+            ticket.dispatched_at = time.perf_counter()
+        STATS.dispatches += 1
+        try:
+            handle.conn.send(
+                {
+                    "op": "serve",
+                    "session": ticket.session_id,
+                    "chunks": [list(chunk) for chunk in ticket.chunks],
+                    "restore": restore,
+                }
+            )
+        except (BrokenPipeError, OSError):
+            handle.alive = False  # _reap_dead re-dispatches the orphans
+
+    def _pump(self) -> bool:
+        """Drain every live pipe; returns whether any message arrived."""
+        progressed = False
+        for handle in self._handles.values():
+            if not handle.alive:
+                continue
+            progressed |= self._pump_handle(handle)
+        return progressed
+
+    def _pump_handle(self, handle: _WorkerHandle) -> bool:
+        progressed = False
+        while True:
+            try:
+                if not handle.conn.poll(0):
+                    break
+                message = handle.conn.recv()
+            except (EOFError, OSError):
+                handle.alive = False
+                break
+            progressed = True
+            self._handle_message(handle, message)
+        return progressed
+
+    def _handle_message(self, handle: _WorkerHandle, message: Dict) -> None:
+        op = message.get("op")
+        if op == "served":
+            self._on_served(handle, message)
+        elif op == "session_failed":
+            ticket = self._tickets.get(message.get("session"))
+            if ticket is not None and not ticket.finished:
+                ticket.state = "failed"
+                ticket.error = message.get("error")
+        elif op == "drained":
+            handle.drained = True
+            self._worker_metrics[handle.worker_id] = dict(
+                message.get("metrics") or {}
+            )
+        elif op == "worker_error":
+            handle.error = message.get("error")
+        # "ready" needs no action: dispatches already queue in the pipe.
+
+    def _on_served(self, handle: _WorkerHandle, message: Dict) -> None:
+        ticket = self._tickets.get(message.get("session"))
+        if ticket is None:
+            return
+        _REGISTRY.gauge(
+            f"serve.cluster.worker.{handle.worker_id}.queue_depth"
+        ).set(float(message.get("queue_depth", 0)))
+        chunk = message["chunk"]
+        if chunk in ticket.reports:
+            return  # recovery re-serve; first delivery wins
+        ticket.reports[chunk] = {
+            "chunk": chunk,
+            "cost": message["cost"],
+            "fingerprint": message["fingerprint"],
+            "source": message["source"],
+            "log_size": message.get("log_size", 0),
+            "replayed": bool(message.get("replayed")),
+            "worker": handle.worker_id,
+        }
+        self._unique_deliveries += 1
+        if ticket.first_interface_s is None:
+            ticket.first_interface_s = (
+                time.perf_counter() - ticket.dispatched_at
+            )
+        if len(ticket.reports) >= len(ticket.chunks) and not ticket.finished:
+            ticket.state = "done"
+
+    # -- crash recovery ------------------------------------------------------
+
+    def _reap_dead(self) -> None:
+        for handle in list(self._handles.values()):
+            if handle.alive and not handle.process.is_alive():
+                # The pipe may still hold messages the worker sent
+                # before dying — account for them before remapping.
+                self._pump_handle(handle)
+                handle.alive = False
+            if not handle.alive and not handle.recovered:
+                self._recover_worker(handle)
+
+    def _recover_worker(self, handle: _WorkerHandle) -> None:
+        handle.recovered = True
+        STATS.deaths += 1
+        self._ring.remove(handle.worker_id)
+        orphans = [
+            t
+            for t in self.tickets()
+            if t.worker == handle.worker_id and not t.finished
+        ]
+        if not orphans:
+            return
+        if not any(h.alive for h in self._handles.values()):
+            raise ClusterError(
+                "every worker died; "
+                f"{len(orphans)} session(s) cannot be recovered"
+            )
+        for ticket in orphans:
+            ticket.recovered = True
+            _REGISTRY.counter("serve.cluster.sessions_migrated").inc()
+            _REGISTRY.counter("serve.cluster.sessions_recovered").inc()
+            self._dispatch(ticket, self._ring.node_for(ticket.session_id))
+
+    # -- shutdown ------------------------------------------------------------
+
+    def _drain_workers(self, timeout_s: float = 30.0) -> None:
+        """Graceful drain: final snapshots + metrics from live workers."""
+        live = [h for h in self._handles.values() if h.alive]
+        for handle in live:
+            try:
+                handle.conn.send({"op": "drain"})
+            except (BrokenPipeError, OSError):
+                handle.alive = False
+        deadline = time.monotonic() + timeout_s
+        while (
+            any(h.alive and not h.drained for h in live)
+            and time.monotonic() < deadline
+        ):
+            progressed = False
+            for handle in live:
+                if handle.alive and not handle.drained:
+                    progressed |= self._pump_handle(handle)
+                    if handle.alive and not handle.process.is_alive():
+                        self._pump_handle(handle)
+                        handle.alive = False
+            if not progressed:
+                time.sleep(0.002)
+
+    def _shutdown(self) -> None:
+        for handle in self._handles.values():
+            if handle.alive:
+                try:
+                    handle.conn.send({"op": "stop"})
+                except (BrokenPipeError, OSError):
+                    pass
+        for handle in self._handles.values():
+            handle.process.join(timeout=5)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self._started = False
+
+    def close(self) -> None:
+        """Tear down workers and remove an owned temporary store file."""
+        if self._started:
+            self._shutdown()
+        if self._owns_store:
+            for suffix in ("", "-wal", "-shm"):
+                try:
+                    os.unlink(self.store_path + suffix)
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "ClusterFront":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- metrics -------------------------------------------------------------
+
+    def worker_metrics(self) -> Dict[int, Dict[str, Any]]:
+        """Per-worker registry snapshots collected at drain."""
+        return {wid: dict(m) for wid, m in self._worker_metrics.items()}
+
+    def merged_worker_metrics(self) -> Dict[str, float]:
+        """Numeric sum of every drained worker's registry snapshot."""
+        merged: Dict[str, float] = {}
+        for metrics in self._worker_metrics.values():
+            for key, value in metrics.items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                merged[key] = merged.get(key, 0) + value
+        return merged

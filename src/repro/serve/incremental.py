@@ -256,6 +256,44 @@ class IncrementalGenerator:
             carried = self._sessions.pop(session_id, None) is not None
         return carried or existed
 
+    # -- snapshot interop ----------------------------------------------------
+
+    def export_session(
+        self, session_id: str = DEFAULT_SESSION
+    ) -> Optional[Tuple[int, Optional[DTNode], Tuple[DTNode, ...],
+                        Dict[str, CompiledSequence]]]:
+        """The session's carry, read atomically (None when it has none).
+
+        The :mod:`repro.serve.snapshot` capture path: returns
+        ``(log_len, best, elite, sequences)`` — everything the next
+        :meth:`open_search` would consume beyond the log itself.
+        """
+        with self._lock:
+            state = self._sessions.get(session_id)
+            if state is None:
+                return None
+            return (state.log_len, state.best, state.elite, dict(state.sequences))
+
+    def import_session(
+        self,
+        session_id: str,
+        log_len: int,
+        best: Optional[DTNode],
+        elite: Tuple[DTNode, ...] = (),
+        sequences: Optional[Dict[str, CompiledSequence]] = None,
+    ) -> None:
+        """Install a session carry wholesale (the snapshot restore path).
+
+        Overwrites any existing carry for the id — restore is a full
+        replacement; callers drop stale state first.
+        """
+        with self._lock:
+            state = self._sessions.setdefault(session_id, _SessionState())
+            state.log_len = log_len
+            state.best = best
+            state.elite = tuple(elite)
+            state.sequences = dict(sequences or {})
+
     # -- generation ---------------------------------------------------------
 
     def open_search(self, session_id: str = DEFAULT_SESSION) -> PendingSearch:

@@ -1,0 +1,363 @@
+"""Durable session snapshots: capture + restore a session's warm state.
+
+A serving session's value lives in state that dies with its process:
+the append-only log, the previous run's best difftree and elite
+transposition-table states (the warm start), the compiled query
+sequences carried between runs, and the session's current
+:class:`~repro.serve.cache.InterfaceCache` entry.
+:class:`SessionSnapshot` captures all of it as one JSON-native payload
+(columnar difftree wire format for every tree — see
+:meth:`repro.difftree.columnar.ColumnarTree.to_payload`) and restores
+it into any engine sharing the capture-time screen/config context.
+
+The restore contract follows the snapshot-isolation checking
+discipline: restored state must be **observationally indistinguishable**
+from never-crashed state.  Concretely, after ``restore()``:
+
+* an ``interface()`` call on the unchanged log is a cache hit returning
+  the *same* cost, breakdown, widget tree, and search diagnostics the
+  original session would have returned (the cached winner is shipped as
+  its decision vector and replayed through the compiled cost kernel —
+  one ``evaluate`` + one ``materialize``, bit-identical by construction,
+  cross-checked against the stored cost at restore time);
+* an append + search continues from the same warm state (extended best
+  + elites, recompiled sequences) and — searches being seed-fixed and
+  iteration-capped deterministic — produces the same results the
+  uninterrupted session would have.
+
+Snapshots are versioned (:data:`SNAPSHOT_SCHEMA_VERSION`); unknown
+versions, wrong-context payloads, and corrupt entries are rejected with
+:class:`SnapshotError` instead of silently restoring drifted state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core import GeneratedInterface, prepare_search
+from ..cost import CompiledSequence
+from ..difftree import DTNode
+from ..difftree.columnar import ColumnarTree
+from ..obs import trace as _trace
+from ..search.common import SearchResult, SearchStats
+from .cache import context_key
+
+#: Bump when the snapshot payload shape changes.  Restore refuses other
+#: versions outright — a serving fleet must never guess at state.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+_STATS_FIELDS = {f.name for f in dataclasses.fields(SearchStats)}
+
+
+class SnapshotError(ValueError):
+    """A snapshot payload is corrupt, stale, or context-incompatible."""
+
+
+def _encode_vector(vector) -> List[Any]:
+    """JSON-encode a decision vector (tuples -> lists)."""
+    return [list(v) if isinstance(v, tuple) else v for v in vector]
+
+
+def _decode_vector(raw) -> List[Any]:
+    """Inverse of :func:`_encode_vector` (lists -> tuples)."""
+    return [tuple(v) if isinstance(v, list) else v for v in raw]
+
+
+@dataclass
+class SessionSnapshot:
+    """One session's full warm state, as JSON-native data.
+
+    Attributes:
+        session_id: the session the state belongs to.
+        generation: the log length at capture time.  Monotone per
+            session — the store's stale-write guard compares these.
+        ctx: the capture-time context fingerprint
+            (:func:`~repro.serve.cache.context_key` of screen+config).
+            Restore refuses a mismatched engine: the same state under a
+            different screen or config is a *different* interface.
+        queries: the replayable log — one entry per ingested query,
+            ``{"sql": text}`` for text appends or ``{"ast": payload}``
+            (columnar wire format) for AST-only appends.
+        log_len: how many leading queries the carried warm state covers
+            (the ``_SessionState.log_len`` of the incremental service).
+        best: columnar payload of the previous run's winning difftree
+            (absent-state marker when the session never searched).
+        elite: columnar payloads of the carried elite states.
+        cached: the session's current cache entry, replayable without a
+            search: the winner's difftree payload + decision vector +
+            search diagnostics (strategy/elapsed/history/stats) + the
+            expected cost (restore-time integrity check).  ``None`` when
+            the entry was evicted or never produced.
+        accounting: free-form scheduler/cluster bookkeeping carried
+            through the store (e.g. how many chunks were delivered —
+            the cluster's replay-dedup cursor).
+    """
+
+    session_id: str
+    generation: int
+    ctx: str
+    queries: List[Dict[str, Any]] = field(default_factory=list)
+    log_len: int = 0
+    best: Optional[Dict[str, Any]] = None
+    elite: List[Dict[str, Any]] = field(default_factory=list)
+    cached: Optional[Dict[str, Any]] = None
+    accounting: Dict[str, Any] = field(default_factory=dict)
+
+    # -- capture -------------------------------------------------------------
+
+    @classmethod
+    def capture(
+        cls,
+        engine,
+        session_id: str,
+        accounting: Optional[Dict[str, Any]] = None,
+    ) -> "SessionSnapshot":
+        """Snapshot one session of an :class:`~repro.engine.Engine`.
+
+        Safe at any *delivered-interface boundary* (no search mid-
+        flight for the session): everything the next run consumes is
+        read under the incremental service's carry lock.
+        """
+        with _trace("serve.snapshot.capture", session=session_id):
+            service = engine._incremental_service()
+            stream = engine.router.stream(session_id)
+            sql = stream.sql()
+            asts = stream.asts()
+            queries: List[Dict[str, Any]] = [
+                {"sql": text} if text else
+                {"ast": ColumnarTree.from_node(ast).to_payload()}
+                for text, ast in zip(sql, asts)
+            ]
+            exported = service.export_session(session_id)
+            log_len = 0
+            best: Optional[DTNode] = None
+            elite: Tuple[DTNode, ...] = ()
+            if exported is not None:
+                log_len, best, elite, _sequences = exported
+            snapshot = cls(
+                session_id=session_id,
+                generation=len(asts),
+                ctx=context_key(engine.screen, engine.config),
+                queries=queries,
+                log_len=log_len,
+                best=ColumnarTree.payload_of(best),
+                elite=[ColumnarTree.payload_of(tree) for tree in elite],
+                accounting=dict(accounting or {}),
+            )
+            if asts:
+                key = f"{stream.log_key()}:{snapshot.ctx}"
+                generated = engine.cache.peek(key)
+                if generated is not None:
+                    snapshot.cached = cls._encode_cached(engine, asts, generated)
+            return snapshot
+
+    @staticmethod
+    def _encode_cached(engine, asts, generated: GeneratedInterface) -> Dict[str, Any]:
+        """The cache entry as replayable data (winner vector, not trees)."""
+        _, _, model, _, _ = prepare_search(
+            asts, screen=engine.screen, config=engine.config, engine=engine.rules
+        )
+        search = generated.search
+        kernel = model.kernel_for(search.best.tree)
+        vector = kernel.adopt(search.best.widget_tree)
+        if vector is None:
+            raise SnapshotError(
+                "cached winner's widget tree does not match its kernel "
+                "schema; cannot encode a replayable snapshot"
+            )
+        return {
+            "difftree": ColumnarTree.from_node(search.best.tree).to_payload(),
+            "vector": _encode_vector(vector),
+            "cost": search.best.breakdown.total,
+            "strategy": search.strategy,
+            "elapsed": search.elapsed,
+            "history": [list(point) for point in search.history],
+            "stats": dataclasses.asdict(search.stats),
+        }
+
+    # -- wire format ---------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The versioned JSON-native envelope (the store's value type)."""
+        return {
+            "version": SNAPSHOT_SCHEMA_VERSION,
+            "session_id": self.session_id,
+            "generation": self.generation,
+            "ctx": self.ctx,
+            "queries": self.queries,
+            "log_len": self.log_len,
+            "best": self.best,
+            "elite": self.elite,
+            "cached": self.cached,
+            "accounting": self.accounting,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "SessionSnapshot":
+        """Validate and decode a :meth:`to_payload` envelope."""
+        if not isinstance(payload, dict):
+            raise SnapshotError(f"snapshot payload must be a dict, got {type(payload)}")
+        version = payload.get("version")
+        if version != SNAPSHOT_SCHEMA_VERSION:
+            raise SnapshotError(
+                f"unsupported snapshot version {version!r} "
+                f"(this process reads version {SNAPSHOT_SCHEMA_VERSION})"
+            )
+        missing = [
+            k for k in ("session_id", "generation", "ctx", "queries", "log_len")
+            if k not in payload
+        ]
+        if missing:
+            raise SnapshotError(f"snapshot payload missing keys {missing}")
+        queries = payload["queries"]
+        if not isinstance(queries, list) or not all(
+            isinstance(q, dict) and ("sql" in q or "ast" in q) for q in queries
+        ):
+            raise SnapshotError("snapshot queries must be sql/ast entries")
+        generation = payload["generation"]
+        if generation != len(queries):
+            raise SnapshotError(
+                f"snapshot generation {generation} disagrees with its "
+                f"{len(queries)}-query log"
+            )
+        log_len = payload["log_len"]
+        if not 0 <= log_len <= generation:
+            raise SnapshotError(f"carried log_len {log_len} outside [0, {generation}]")
+        cached = payload.get("cached")
+        if cached is not None:
+            required = ("difftree", "vector", "cost", "strategy", "elapsed",
+                        "history", "stats")
+            absent = [k for k in required if k not in cached]
+            if absent:
+                raise SnapshotError(f"cached entry missing keys {absent}")
+            unknown = set(cached["stats"]) - _STATS_FIELDS
+            if unknown:
+                raise SnapshotError(f"cached entry has unknown stats {sorted(unknown)}")
+        return cls(
+            session_id=payload["session_id"],
+            generation=generation,
+            ctx=payload["ctx"],
+            queries=queries,
+            log_len=log_len,
+            best=payload.get("best"),
+            elite=list(payload.get("elite") or ()),
+            cached=cached,
+            accounting=dict(payload.get("accounting") or {}),
+        )
+
+    # -- restore -------------------------------------------------------------
+
+    def restore(self, engine) -> str:
+        """Rebuild the session inside ``engine``; returns the session id.
+
+        Any existing state under the same id is dropped first — a
+        restore is a full replacement, not a merge.  Raises
+        :class:`SnapshotError` on context mismatch or when the replayed
+        cache entry's cost disagrees with the stored one (corrupt or
+        cross-version state must not be served).
+        """
+        with _trace("serve.snapshot.restore", session=self.session_id):
+            expected_ctx = context_key(engine.screen, engine.config)
+            if self.ctx != expected_ctx:
+                raise SnapshotError(
+                    "snapshot context does not match the restoring engine "
+                    "(different screen/config); refusing to restore"
+                )
+            try:
+                replayed = [
+                    q["sql"] if q.get("sql")
+                    else ColumnarTree.from_payload(q["ast"]).to_node()
+                    for q in self.queries
+                ]
+                best = ColumnarTree.node_of(self.best)
+                elite = tuple(
+                    tree for tree in
+                    (ColumnarTree.node_of(p) for p in self.elite)
+                    if tree is not None
+                )
+            except (KeyError, ValueError, TypeError) as exc:
+                raise SnapshotError(f"corrupt snapshot tree payload: {exc}") from exc
+
+            service = engine._incremental_service()
+            engine.drop_session(self.session_id)
+            if replayed:
+                engine.router.append(self.session_id, *replayed)
+            stream = engine.router.stream(self.session_id)
+
+            sequences: Dict[str, CompiledSequence] = {}
+            if best is not None and self.log_len:
+                prior = stream.asts(end=self.log_len)
+                for tree in (best,) + elite:
+                    key = tree.canonical_key
+                    if key not in sequences:
+                        sequences[key] = CompiledSequence.compile(tree, prior)
+            service.import_session(
+                self.session_id,
+                log_len=self.log_len,
+                best=best,
+                elite=elite,
+                sequences=sequences,
+            )
+            if self.cached is not None:
+                self._restore_cached(engine, stream)
+            note = getattr(engine, "_note_restored", None)
+            if note is not None:
+                note(
+                    self.session_id,
+                    {
+                        "restored": True,
+                        "generation": self.generation,
+                        "snapshot_version": SNAPSHOT_SCHEMA_VERSION,
+                    },
+                )
+            return self.session_id
+
+    def _restore_cached(self, engine, stream) -> None:
+        """Replay the cached winner through the kernel and re-insert it."""
+        asts = stream.asts()
+        if not asts:
+            raise SnapshotError("cached entry on an empty log")
+        asts, screen, model, _initial, _rules = prepare_search(
+            asts, screen=engine.screen, config=engine.config, engine=engine.rules
+        )
+        entry = self.cached
+        try:
+            tree = ColumnarTree.from_payload(entry["difftree"]).to_node()
+        except (KeyError, ValueError, TypeError) as exc:
+            raise SnapshotError(f"corrupt cached difftree payload: {exc}") from exc
+        kernel = model.kernel_for(tree)
+        vector = _decode_vector(entry["vector"])
+        try:
+            breakdown = kernel.evaluate(vector)
+            widget_tree = kernel.materialize(vector)
+        except (IndexError, KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(f"cached decision vector does not replay: {exc}") from exc
+        if breakdown.total != entry["cost"]:
+            raise SnapshotError(
+                f"replayed cache entry cost {breakdown.total!r} disagrees with "
+                f"the snapshotted cost {entry['cost']!r}; refusing to serve "
+                "drifted state"
+            )
+        from ..cost import EvaluatedInterface
+
+        best = EvaluatedInterface(tree=tree, widget_tree=widget_tree,
+                                  breakdown=breakdown)
+        search = SearchResult(
+            best=best,
+            best_state=tree,
+            history=[tuple(point) for point in entry["history"]],
+            stats=SearchStats(**entry["stats"]),
+            elapsed=entry["elapsed"],
+            strategy=entry["strategy"],
+        )
+        generated = GeneratedInterface(
+            queries=list(asts), screen=screen, search=search, best=best
+        )
+        key = f"{stream.log_key()}:{self.ctx}"
+        engine.cache.put(
+            key, generated,
+            query_keys=stream.query_keys(end=len(asts)),
+            ctx=self.ctx,
+        )

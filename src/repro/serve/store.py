@@ -1,0 +1,344 @@
+"""Durable snapshot stores + the write-behind snapshotting policy.
+
+:class:`SnapshotStore` is the persistence seam of the serving cluster:
+workers save :class:`~repro.serve.snapshot.SessionSnapshot` payloads at
+delivered-interface boundaries, and survivors rehydrate a dead worker's
+sessions from it mid-conversation.  Two backends:
+
+* :class:`MemorySnapshotStore` — dict-backed, for tests and
+  single-process write-behind snapshotting.
+* :class:`SQLiteSnapshotStore` — one WAL-mode SQLite file shared by
+  every worker process.  Upsert-by-session with a **generation
+  counter**: a save whose generation is below the stored one is
+  rejected (:class:`StaleSnapshotError`), so a slow or zombie writer
+  can never roll a session's durable state backwards.
+
+:class:`SnapshotWriter` implements the write-behind policy on top of a
+store: snapshot after every ``K`` appended queries (counted at
+delivered-interface boundaries — the only consistent capture points),
+on session eviction, and on drain.
+
+Metrics (``serve.store.*`` via :data:`repro.obs.REGISTRY`): payload
+bytes written, stale-write rejections, and save/load latency
+histograms (``serve.cluster.snapshot_write_s`` / ``_load_s``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
+
+from ..obs import REGISTRY as _REGISTRY
+from .snapshot import SessionSnapshot, SnapshotError
+
+
+class SnapshotStoreError(RuntimeError):
+    """A snapshot store operation failed."""
+
+
+class StaleSnapshotError(SnapshotStoreError):
+    """A save was rejected because a newer generation is already stored."""
+
+
+@dataclass(frozen=True)
+class SnapshotRecord:
+    """One stored snapshot: the payload plus its generation."""
+
+    session_id: str
+    generation: int
+    payload: Dict[str, Any]
+
+
+class SnapshotStore:
+    """Abstract session-id -> versioned snapshot payload store."""
+
+    def save(self, session_id: str, payload: Dict[str, Any], generation: int) -> None:
+        """Upsert a session's snapshot.
+
+        Raises :class:`StaleSnapshotError` when ``generation`` is below
+        the stored one (equal generations re-save idempotently).
+        """
+        raise NotImplementedError
+
+    def load(self, session_id: str) -> Optional[SnapshotRecord]:
+        """The stored record, or None when the session has none."""
+        raise NotImplementedError
+
+    def delete(self, session_id: str) -> bool:
+        """Drop a session's snapshot; returns whether one existed."""
+        raise NotImplementedError
+
+    def sessions(self) -> List[str]:
+        """Ids with a stored snapshot (sorted)."""
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release backend resources (idempotent)."""
+
+    # -- convenience ---------------------------------------------------------
+
+    def save_snapshot(self, snapshot: SessionSnapshot) -> None:
+        """Save a :class:`SessionSnapshot` under its own generation."""
+        started = time.perf_counter()
+        self.save(snapshot.session_id, snapshot.to_payload(), snapshot.generation)
+        _REGISTRY.histogram("serve.cluster.snapshot_write_s").observe(
+            time.perf_counter() - started
+        )
+
+    def load_snapshot(self, session_id: str) -> Optional[SessionSnapshot]:
+        """Load + validate a session's snapshot (None when absent)."""
+        started = time.perf_counter()
+        record = self.load(session_id)
+        if record is None:
+            return None
+        snapshot = SessionSnapshot.from_payload(record.payload)
+        _REGISTRY.histogram("serve.cluster.snapshot_load_s").observe(
+            time.perf_counter() - started
+        )
+        return snapshot
+
+
+class MemorySnapshotStore(SnapshotStore):
+    """In-process store: a lock-protected dict (tests, single-process)."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, SnapshotRecord] = {}
+        self._lock = threading.Lock()
+
+    def save(self, session_id: str, payload: Dict[str, Any], generation: int) -> None:
+        encoded = json.dumps(payload)  # enforce the JSON-native contract
+        with self._lock:
+            existing = self._records.get(session_id)
+            if existing is not None and generation < existing.generation:
+                _REGISTRY.counter("serve.store.stale_rejections").inc()
+                raise StaleSnapshotError(
+                    f"stale save for {session_id!r}: generation {generation} "
+                    f"< stored {existing.generation}"
+                )
+            self._records[session_id] = SnapshotRecord(
+                session_id=session_id,
+                generation=generation,
+                payload=json.loads(encoded),
+            )
+        _REGISTRY.counter("serve.store.bytes_written").inc(len(encoded))
+
+    def load(self, session_id: str) -> Optional[SnapshotRecord]:
+        with self._lock:
+            return self._records.get(session_id)
+
+    def delete(self, session_id: str) -> bool:
+        with self._lock:
+            return self._records.pop(session_id, None) is not None
+
+    def sessions(self) -> List[str]:
+        with self._lock:
+            return sorted(self._records)
+
+
+class SQLiteSnapshotStore(SnapshotStore):
+    """WAL-mode SQLite store shared across worker processes.
+
+    One row per session (``session_id`` primary key).  The upsert's
+    generation guard runs inside the backend — concurrent writers from
+    different processes race through SQLite's own locking, and the
+    loser of a stale race gets :class:`StaleSnapshotError`, not silent
+    state regression.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike], timeout_s: float = 30.0) -> None:
+        self.path = os.fspath(path)
+        self._timeout_s = timeout_s
+        self._lock = threading.Lock()
+        self._conn: Optional[sqlite3.Connection] = None
+        self._ensure_schema()
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._conn is None:
+            conn = sqlite3.connect(
+                self.path,
+                timeout=self._timeout_s,
+                check_same_thread=False,
+                isolation_level=None,  # autocommit; explicit transactions below
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute("PRAGMA busy_timeout=%d" % int(self._timeout_s * 1000))
+            self._conn = conn
+        return self._conn
+
+    def _ensure_schema(self) -> None:
+        with self._lock:
+            self._connection().execute(
+                "CREATE TABLE IF NOT EXISTS snapshots ("
+                " session_id TEXT PRIMARY KEY,"
+                " generation INTEGER NOT NULL,"
+                " updated_at REAL NOT NULL,"
+                " payload TEXT NOT NULL)"
+            )
+
+    def save(self, session_id: str, payload: Dict[str, Any], generation: int) -> None:
+        encoded = json.dumps(payload)
+        with self._lock:
+            conn = self._connection()
+            try:
+                conn.execute("BEGIN IMMEDIATE")
+                row = conn.execute(
+                    "SELECT generation FROM snapshots WHERE session_id = ?",
+                    (session_id,),
+                ).fetchone()
+                if row is not None and generation < row[0]:
+                    conn.execute("ROLLBACK")
+                    _REGISTRY.counter("serve.store.stale_rejections").inc()
+                    raise StaleSnapshotError(
+                        f"stale save for {session_id!r}: generation "
+                        f"{generation} < stored {row[0]}"
+                    )
+                conn.execute(
+                    "INSERT INTO snapshots(session_id, generation, updated_at,"
+                    " payload) VALUES (?, ?, ?, ?)"
+                    " ON CONFLICT(session_id) DO UPDATE SET"
+                    " generation=excluded.generation,"
+                    " updated_at=excluded.updated_at,"
+                    " payload=excluded.payload",
+                    (session_id, generation, time.time(), encoded),
+                )
+                conn.execute("COMMIT")
+            except sqlite3.Error as exc:
+                try:
+                    conn.execute("ROLLBACK")
+                except sqlite3.Error:
+                    pass
+                raise SnapshotStoreError(f"sqlite save failed: {exc}") from exc
+        _REGISTRY.counter("serve.store.bytes_written").inc(len(encoded))
+
+    def load(self, session_id: str) -> Optional[SnapshotRecord]:
+        with self._lock:
+            try:
+                row = self._connection().execute(
+                    "SELECT generation, payload FROM snapshots"
+                    " WHERE session_id = ?",
+                    (session_id,),
+                ).fetchone()
+            except sqlite3.Error as exc:
+                raise SnapshotStoreError(f"sqlite load failed: {exc}") from exc
+        if row is None:
+            return None
+        generation, encoded = row
+        try:
+            payload = json.loads(encoded)
+        except ValueError as exc:
+            raise SnapshotError(
+                f"stored payload for {session_id!r} is not valid JSON"
+            ) from exc
+        return SnapshotRecord(
+            session_id=session_id, generation=generation, payload=payload
+        )
+
+    def delete(self, session_id: str) -> bool:
+        with self._lock:
+            cursor = self._connection().execute(
+                "DELETE FROM snapshots WHERE session_id = ?", (session_id,)
+            )
+            return cursor.rowcount > 0
+
+    def sessions(self) -> List[str]:
+        with self._lock:
+            rows = self._connection().execute(
+                "SELECT session_id FROM snapshots ORDER BY session_id"
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+
+def open_store(
+    spec: Union[None, str, os.PathLike, SnapshotStore]
+) -> SnapshotStore:
+    """Resolve a store spec: None -> memory, path -> SQLite, store -> itself."""
+    if spec is None:
+        return MemorySnapshotStore()
+    if isinstance(spec, SnapshotStore):
+        return spec
+    return SQLiteSnapshotStore(spec)
+
+
+class SnapshotWriter:
+    """Write-behind snapshotting policy over a store.
+
+    Captures a session when enough appends have accumulated since its
+    last snapshot (``every_appends``, counted at delivered-interface
+    boundaries), when the engine evicts it (install via
+    :meth:`attach_eviction_hook`), and unconditionally on
+    :meth:`drain`.
+
+    Stale-write rejections are swallowed (a newer snapshot is already
+    durable — mission accomplished); other store errors propagate.
+    """
+
+    def __init__(self, store: SnapshotStore, engine, every_appends: int = 1) -> None:
+        if every_appends < 1:
+            raise ValueError(f"every_appends must be >= 1, got {every_appends}")
+        self.store = store
+        self.engine = engine
+        self.every_appends = every_appends
+        #: session id -> log length at its last snapshot.
+        self._snapshotted_at: Dict[str, int] = {}
+        self.snapshots_written = 0
+
+    def attach_eviction_hook(self) -> None:
+        """Snapshot sessions as the engine's LRU bound evicts them."""
+        self.engine.session_evicted_hook = self.on_evicted
+
+    def _capture(self, session_id: str, accounting: Optional[dict]) -> bool:
+        snapshot = SessionSnapshot.capture(
+            self.engine, session_id, accounting=accounting
+        )
+        try:
+            self.store.save_snapshot(snapshot)
+        except StaleSnapshotError:
+            return False
+        self._snapshotted_at[session_id] = snapshot.generation
+        self.snapshots_written += 1
+        return True
+
+    def on_delivered(
+        self, session_id: str, accounting: Optional[dict] = None
+    ) -> bool:
+        """Maybe snapshot after a delivered interface; True if written."""
+        log_len = len(self.engine.router.stream(session_id))
+        since = log_len - self._snapshotted_at.get(session_id, 0)
+        if since < self.every_appends:
+            return False
+        return self._capture(session_id, accounting)
+
+    def note_restored(self, session_id: str, generation: int) -> None:
+        """Record that a freshly restored session is durable at ``generation``
+        (so the next delivery doesn't immediately re-snapshot it)."""
+        self._snapshotted_at[session_id] = generation
+
+    def on_evicted(self, session_id: str) -> None:
+        """Engine eviction hook: persist the state being dropped."""
+        self._capture(session_id, None)
+
+    def drain(self, accounting_for=None) -> int:
+        """Snapshot every live session (graceful-shutdown path).
+
+        Args:
+            accounting_for: optional ``session_id -> accounting dict``
+                callable recorded into each snapshot.
+        """
+        written = 0
+        for session_id in self.engine.router.sessions():
+            accounting = accounting_for(session_id) if accounting_for else None
+            if self._capture(session_id, accounting):
+                written += 1
+        return written

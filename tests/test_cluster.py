@@ -1,0 +1,220 @@
+"""Sharded multi-process serving: routing, parity, and crash recovery.
+
+Scale note: this box may have a single CPU core, so every cluster run
+here is *tiny* (few sessions, two-iteration searches) — these tests
+check protocol correctness (cost/fingerprint parity with the
+single-process scheduler, kill-one-worker rehydration), not speed;
+``benchmarks/bench_cluster.py`` owns the latency claims.
+"""
+
+import collections
+
+import pytest
+
+from repro import Engine, GenerationConfig, memo
+from repro.serve import ClusterError, ClusterFront, HashRing
+from repro.serve.batch import generate_interfaces_batch
+
+TINY = GenerationConfig(time_budget_s=0.0, max_iterations=2, seed=0, final_cap=50)
+
+
+def scripts(n_sessions, chunks=2, chunk_size=2):
+    """Per-session chunked query scripts over distinct sdss logs."""
+    out = {}
+    for i in range(n_sessions):
+        log = Engine.workload("sdss", chunks * chunk_size, seed=i)
+        out[f"s{i:02d}"] = [
+            tuple(log[j * chunk_size:(j + 1) * chunk_size])
+            for j in range(chunks)
+        ]
+    return out
+
+
+def single_process_results(scripts_by_sid):
+    """Per-session (costs, fingerprints) from the one-process scheduler."""
+    engine = Engine(config=TINY)
+    scheduler = engine.scheduler(slice_iterations=4)
+    for sid, chunks in scripts_by_sid.items():
+        scheduler.submit(sid, chunks)
+    out = {}
+    for ticket in scheduler.run():
+        assert ticket.state == "done"
+        out[ticket.session_id] = (
+            [r.cost for r in ticket.reports],
+            [r.difftree.canonical_key for r in ticket.reports],
+        )
+    return out
+
+
+class TestHashRing:
+    def test_deterministic_and_stable(self):
+        ring = HashRing(range(4))
+        placements = {f"s{i:02d}": ring.node_for(f"s{i:02d}") for i in range(32)}
+        again = HashRing(range(4))
+        assert placements == {
+            sid: again.node_for(sid) for sid in placements
+        }
+
+    def test_spreads_structured_session_ids(self):
+        # Real session ids are near-identical strings; the ring must
+        # still use every worker (the original crc32 ring collapsed all
+        # of them onto one).
+        ring = HashRing(range(4))
+        counts = collections.Counter(
+            ring.node_for(f"s{i:02d}") for i in range(64)
+        )
+        assert set(counts) == {0, 1, 2, 3}
+
+    def test_removal_moves_only_the_dead_workers_slice(self):
+        ring = HashRing(range(4))
+        before = {f"s{i:02d}": ring.node_for(f"s{i:02d}") for i in range(64)}
+        ring.remove(2)
+        for sid, owner in before.items():
+            if owner != 2:
+                assert ring.node_for(sid) == owner
+            else:
+                assert ring.node_for(sid) != 2
+
+    def test_membership_errors(self):
+        ring = HashRing(range(2))
+        with pytest.raises(ValueError):
+            ring.add(1)
+        with pytest.raises(KeyError):
+            ring.remove(9)
+        with pytest.raises(ValueError):
+            HashRing(range(2), replicas=0)
+        ring.remove(0)
+        ring.remove(1)
+        with pytest.raises(ClusterError):
+            ring.node_for("s")
+
+
+class TestSubmission:
+    def test_empty_and_duplicate_scripts_rejected(self):
+        front = ClusterFront(config=TINY, workers=2)
+        try:
+            with pytest.raises(ValueError, match="non-empty"):
+                front.submit("s", [])
+            log = Engine.workload("sdss", 2, seed=0)
+            front.submit("s", [log])
+            with pytest.raises(ValueError, match="unfinished"):
+                front.submit("s", [log])
+        finally:
+            front.close()
+
+    def test_front_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ClusterFront(config=TINY, workers=0)
+        with pytest.raises(ValueError):
+            ClusterFront(config=TINY, workers=1, snapshot_every=0)
+
+    def test_engine_cluster_refuses_custom_rules(self):
+        engine = Engine(config=TINY, rules=object())
+        with pytest.raises(ValueError, match="rules"):
+            engine.cluster()
+
+
+class TestClusterParity:
+    def test_costs_and_fingerprints_match_single_process(self, tmp_path):
+        jobs = scripts(4)
+        expected = single_process_results(jobs)
+        engine = Engine(config=TINY)
+        with engine.cluster(
+            workers=2,
+            store=str(tmp_path / "snaps.sqlite"),
+            slice_iterations=4,
+        ) as front:
+            for sid, chunks in jobs.items():
+                front.submit(sid, chunks)
+            tickets = front.run(timeout_s=300)
+            assert all(t.state == "done" for t in tickets)
+            for ticket in tickets:
+                costs, fingerprints = expected[ticket.session_id]
+                assert ticket.costs == costs
+                assert ticket.fingerprints == fingerprints
+                assert not ticket.recovered
+                assert ticket.worker_history == [ticket.worker]
+                assert ticket.first_interface_s is not None
+            # Both workers served their own hash slice.
+            assert len({t.worker for t in tickets}) == 2
+            # Graceful drain collected every worker's metric snapshot,
+            # and durable snapshots cover every session.
+            assert sorted(front.worker_metrics()) == [0, 1]
+            merged = front.merged_worker_metrics()
+            assert merged["serve.cluster.deliveries"] == sum(
+                len(chunks) for chunks in jobs.values()
+            )
+        from repro.serve import SQLiteSnapshotStore
+
+        store = SQLiteSnapshotStore(tmp_path / "snaps.sqlite")
+        assert store.sessions() == sorted(jobs)
+        for sid, chunks in jobs.items():
+            record = store.load(sid)
+            assert record.generation == sum(len(c) for c in chunks)
+        store.close()
+
+
+class TestRecovery:
+    def test_killed_worker_sessions_rehydrate_with_identical_costs(self):
+        jobs = scripts(6, chunks=2, chunk_size=1)
+        expected = single_process_results(jobs)
+        ring = HashRing(range(2))
+        busiest = collections.Counter(
+            ring.node_for(sid) for sid in jobs
+        ).most_common(1)[0][0]
+        engine = Engine(config=TINY)
+        with engine.cluster(workers=2, slice_iterations=4) as front:
+            for sid, chunks in jobs.items():
+                front.submit(sid, chunks)
+            tickets = front.run(
+                timeout_s=300, kill_worker=busiest, kill_after=2
+            )
+            assert all(t.state == "done" for t in tickets)
+            recovered = [t for t in tickets if t.recovered]
+            assert recovered  # the kill landed mid-run
+            for ticket in recovered:
+                assert ticket.worker_history[0] == busiest
+                assert ticket.worker != busiest
+            for ticket in tickets:
+                costs, fingerprints = expected[ticket.session_id]
+                assert ticket.costs == costs
+                assert ticket.fingerprints == fingerprints
+
+    def test_last_worker_dying_raises(self):
+        jobs = scripts(2, chunks=1, chunk_size=1)
+        engine = Engine(config=TINY)
+        front = engine.cluster(workers=1, slice_iterations=4)
+        try:
+            for sid, chunks in jobs.items():
+                front.submit(sid, chunks)
+            with pytest.raises(ClusterError, match="every worker died"):
+                front.run(timeout_s=300, kill_worker=0, kill_after=1)
+        finally:
+            front.close()
+
+
+class TestBatchWirePath:
+    def test_wire_results_match_the_pickle_oracle(self):
+        # Satellite check: the columnar wire path across the process
+        # pool must be bit-identical to the legacy pickled-object path
+        # (the reference mode behind the fast-path gate).
+        logs = [Engine.workload("sdss", 3, seed=i) for i in range(2)]
+        wire = generate_interfaces_batch(
+            logs, config=TINY, max_workers=2, executor="process"
+        )
+        with memo.fast_paths(False):
+            oracle = generate_interfaces_batch(
+                logs, config=TINY, max_workers=2, executor="process"
+            )
+        for ours, theirs in zip(wire, oracle):
+            assert ours.best.breakdown.total == theirs.best.breakdown.total
+            assert (
+                ours.difftree.canonical_key == theirs.difftree.canonical_key
+            )
+            assert repr(ours.best.widget_tree) == repr(theirs.best.widget_tree)
+            assert ours.search.stats == theirs.search.stats
+            # History points are (wall-clock, cost): only the cost
+            # trajectory is deterministic.
+            assert [c for _, c in ours.search.history] == [
+                c for _, c in theirs.search.history
+            ]

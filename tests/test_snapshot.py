@@ -1,0 +1,377 @@
+"""Durable session snapshots: capture/restore parity + the stores.
+
+The restore contract under test (see ``repro/serve/snapshot.py``):
+restored state is observationally indistinguishable from never-crashed
+state — an ``interface()`` on the unchanged log replays the cached
+winner bit-identically, and a subsequent append + search continues from
+the same warm state with identical results.  The store layer's
+generation counter must reject stale writes from slow or zombie
+writers, including across concurrent threads on one SQLite file.
+"""
+
+import json
+import multiprocessing
+import os
+import tempfile
+import threading
+
+import pytest
+
+from repro import Engine, GenerationConfig
+from repro.serve import (
+    SNAPSHOT_SCHEMA_VERSION,
+    MemorySnapshotStore,
+    SessionSnapshot,
+    SnapshotError,
+    SnapshotWriter,
+    SQLiteSnapshotStore,
+    StaleSnapshotError,
+    open_store,
+)
+
+TINY = GenerationConfig(time_budget_s=0.0, max_iterations=2, seed=0, final_cap=50)
+
+#: One growing log per workload family the snapshot must round-trip.
+WORKLOADS = ("sdss", "tpch", "synthetic.mixed_session")
+
+
+def grown_session(engine, workload, session_id="snap", n=4, split=2):
+    """Serve a session in two growing steps; returns (handle, last report)."""
+    log = Engine.workload(workload, n, seed=5)
+    handle = engine.session(session_id)
+    handle.append(*log[:split])
+    handle.interface()
+    handle.append(*log[split:])
+    return handle, handle.interface()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_restore_serves_bit_identical_interface(self, workload):
+        engine = Engine(config=TINY)
+        _, original = grown_session(engine, workload)
+        payload = json.loads(
+            json.dumps(engine.snapshot_session("snap").to_payload())
+        )
+
+        other = Engine(config=TINY)
+        handle = other.restore_snapshot(payload)
+        restored = handle.interface()
+        assert restored.source == "cache"  # zero new search work
+        assert restored.cost == original.cost
+        assert (
+            restored.difftree.canonical_key == original.difftree.canonical_key
+        )
+        assert repr(restored.widget_tree) == repr(original.widget_tree)
+        assert restored.search.stats == original.search.stats
+        assert restored.search.history == original.search.history
+
+    def test_restore_continues_search_identically(self):
+        # The warm state (best + elites + sequences) must carry: growing
+        # the restored session gives the uninterrupted session's result.
+        log = Engine.workload("sdss", 6, seed=5)
+        engine = Engine(config=TINY)
+        session = engine.session("snap")
+        session.append(*log[:2])
+        session.interface()
+        session.append(*log[2:4])
+        session.interface()
+        payload = engine.snapshot_session("snap").to_payload()
+
+        other = Engine(config=TINY)
+        restored = other.restore_snapshot(payload)
+        # No intermediate interface() call: a cache-hit serve clears the
+        # elite carry in original and restored sessions alike, so the
+        # parity comparison appends straight away (the cluster's replay
+        # path does exactly this).
+        restored.append(*log[4:])
+        session.append(*log[4:])
+        theirs = restored.interface()
+        ours = session.interface()
+        assert theirs.cost == ours.cost
+        assert theirs.difftree.canonical_key == ours.difftree.canonical_key
+        assert theirs.search.stats == ours.search.stats
+
+    def test_restore_provenance_lands_in_reports(self):
+        engine = Engine(config=TINY)
+        grown_session(engine, "sdss")
+        payload = engine.snapshot_session("snap").to_payload()
+        other = Engine(config=TINY)
+        handle = other.restore_snapshot(payload)
+        provenance = handle.interface().to_dict()["provenance"]["snapshot"]
+        assert provenance["restored"] is True
+        assert provenance["generation"] == 4
+        assert provenance["snapshot_version"] == SNAPSHOT_SCHEMA_VERSION
+        # A never-restored engine reports no snapshot provenance.
+        report = grown_session(Engine(config=TINY), "sdss", "fresh")[1]
+        assert report.to_dict()["provenance"]["snapshot"] is None
+
+    def test_payload_is_json_native(self):
+        engine = Engine(config=TINY)
+        grown_session(engine, "sdss")
+        payload = engine.snapshot_session("snap").to_payload()
+        assert payload == json.loads(json.dumps(payload))
+
+    def test_accounting_rides_through(self):
+        engine = Engine(config=TINY)
+        grown_session(engine, "sdss")
+        accounting = {"delivered": 2, "reports": [{"chunk": 0, "cost": 1.5}]}
+        snapshot = engine.snapshot_session("snap", accounting=accounting)
+        decoded = SessionSnapshot.from_payload(snapshot.to_payload())
+        assert decoded.accounting == accounting
+
+
+class TestRejection:
+    def payload(self):
+        engine = Engine(config=TINY)
+        grown_session(engine, "sdss")
+        return engine.snapshot_session("snap").to_payload()
+
+    def test_unknown_version_rejected(self):
+        payload = self.payload()
+        payload["version"] = SNAPSHOT_SCHEMA_VERSION + 1
+        with pytest.raises(SnapshotError, match="version"):
+            SessionSnapshot.from_payload(payload)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(SnapshotError):
+            SessionSnapshot.from_payload([1, 2, 3])
+
+    def test_missing_keys_rejected(self):
+        payload = self.payload()
+        del payload["queries"]
+        with pytest.raises(SnapshotError, match="missing"):
+            SessionSnapshot.from_payload(payload)
+
+    def test_generation_log_disagreement_rejected(self):
+        payload = self.payload()
+        payload["generation"] += 1
+        with pytest.raises(SnapshotError, match="disagrees"):
+            SessionSnapshot.from_payload(payload)
+
+    def test_unknown_stats_fields_rejected(self):
+        payload = self.payload()
+        assert payload["cached"] is not None
+        payload["cached"]["stats"]["bogus_counter"] = 7
+        with pytest.raises(SnapshotError, match="unknown stats"):
+            SessionSnapshot.from_payload(payload)
+
+    def test_context_mismatch_refused(self):
+        payload = self.payload()
+        other = Engine(
+            config=GenerationConfig(
+                time_budget_s=0.0, max_iterations=3, seed=1, final_cap=50
+            )
+        )
+        with pytest.raises(SnapshotError, match="context"):
+            other.restore_snapshot(payload)
+
+    def test_tampered_cost_refused_at_restore(self):
+        payload = self.payload()
+        payload["cached"]["cost"] += 1.0
+        other = Engine(config=TINY)
+        with pytest.raises(SnapshotError, match="disagrees"):
+            other.restore_snapshot(payload)
+
+    def test_corrupt_tree_payload_refused(self):
+        payload = self.payload()
+        payload["best"]["parent"] = payload["best"]["parent"][:-1]
+        other = Engine(config=TINY)
+        with pytest.raises(SnapshotError):
+            other.restore_snapshot(payload)
+
+
+class TestStores:
+    def test_memory_store_round_trip_and_stale_rejection(self):
+        store = MemorySnapshotStore()
+        store.save("a", {"version": 1, "x": 1}, generation=2)
+        store.save("a", {"version": 1, "x": 2}, generation=3)
+        assert store.load("a").payload["x"] == 2
+        with pytest.raises(StaleSnapshotError):
+            store.save("a", {"version": 1, "x": 0}, generation=1)
+        store.save("a", {"version": 1, "x": 3}, generation=3)  # equal: ok
+        assert store.load("a").payload["x"] == 3
+        assert store.sessions() == ["a"]
+        assert store.delete("a") and not store.delete("a")
+
+    def test_memory_store_enforces_json_contract(self):
+        store = MemorySnapshotStore()
+        with pytest.raises(TypeError):
+            store.save("a", {"bad": object()}, generation=1)
+
+    def test_sqlite_store_round_trip(self, tmp_path):
+        path = tmp_path / "snaps.sqlite"
+        store = SQLiteSnapshotStore(path)
+        store.save("a", {"version": 1, "x": 1}, generation=1)
+        store.save("b", {"version": 1, "x": 2}, generation=1)
+        assert store.load("a").payload == {"version": 1, "x": 1}
+        assert store.sessions() == ["a", "b"]
+        with pytest.raises(StaleSnapshotError):
+            store.save("a", {"version": 1}, generation=0)
+        store.close()
+        # Durable across connections.
+        reopened = SQLiteSnapshotStore(path)
+        assert reopened.load("b").generation == 1
+        assert reopened.delete("a")
+        reopened.close()
+
+    def test_sqlite_concurrent_writers_keep_max_generation(self, tmp_path):
+        # Many threads race interleaved generations at one session; the
+        # generation guard must leave the maximum durable regardless of
+        # commit order, with every loser surfaced as a stale rejection.
+        path = tmp_path / "race.sqlite"
+        rejections = []
+
+        def writer(worker):
+            store = SQLiteSnapshotStore(path)
+            for generation in range(1, 21):
+                try:
+                    store.save(
+                        "shared",
+                        {"version": 1, "worker": worker, "gen": generation},
+                        generation=generation,
+                    )
+                except StaleSnapshotError:
+                    rejections.append((worker, generation))
+            store.close()
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        store = SQLiteSnapshotStore(path)
+        record = store.load("shared")
+        store.close()
+        assert record.generation == 20
+        assert record.payload["gen"] == 20
+
+    def test_snapshot_store_validates_on_load(self, tmp_path):
+        path = tmp_path / "bad.sqlite"
+        store = SQLiteSnapshotStore(path)
+        store.save("a", {"version": 999}, generation=1)
+        with pytest.raises(SnapshotError, match="version"):
+            store.load_snapshot("a")
+        assert store.load_snapshot("missing") is None
+        store.close()
+
+    def test_open_store_spec_dispatch(self, tmp_path):
+        assert isinstance(open_store(None), MemorySnapshotStore)
+        sqlite_store = open_store(tmp_path / "s.sqlite")
+        assert isinstance(sqlite_store, SQLiteSnapshotStore)
+        sqlite_store.close()
+        memory = MemorySnapshotStore()
+        assert open_store(memory) is memory
+
+
+class TestSnapshotWriter:
+    def test_write_behind_every_k_appends(self):
+        engine = Engine(config=TINY)
+        store = MemorySnapshotStore()
+        writer = SnapshotWriter(store, engine, every_appends=3)
+        log = Engine.workload("sdss", 4, seed=5)
+        session = engine.session("s")
+        session.append(*log[:2])
+        session.interface()
+        assert not writer.on_delivered("s")  # 2 appends < 3: deferred
+        session.append(*log[2:])
+        session.interface()
+        assert writer.on_delivered("s")  # 4 appends since: written
+        assert store.load("s").generation == 4
+        assert not writer.on_delivered("s")  # nothing new since
+
+    def test_eviction_hook_persists_evicted_sessions(self):
+        engine = Engine(config=TINY, max_sessions=1)
+        store = MemorySnapshotStore()
+        writer = SnapshotWriter(store, engine)
+        writer.attach_eviction_hook()
+        log = Engine.workload("sdss", 2, seed=5)
+        first = engine.session("first")
+        first.append(*log)
+        first.interface()
+        engine.session("second")  # evicts "first" past the LRU bound
+        assert "first" not in engine.sessions()
+        assert store.load("first").generation == 2
+
+    def test_drain_snapshots_every_session(self):
+        engine = Engine(config=TINY)
+        store = MemorySnapshotStore()
+        writer = SnapshotWriter(store, engine, every_appends=100)
+        log = Engine.workload("sdss", 2, seed=5)
+        for sid in ("a", "b"):
+            session = engine.session(sid)
+            session.append(*log)
+            session.interface()
+        assert writer.drain(accounting_for=lambda sid: {"sid": sid}) == 2
+        assert store.sessions() == ["a", "b"]
+        decoded = store.load_snapshot("b")
+        assert decoded.accounting == {"sid": "b"}
+
+    def test_stale_rejection_is_swallowed(self):
+        engine = Engine(config=TINY)
+        store = MemorySnapshotStore()
+        writer = SnapshotWriter(store, engine)
+        log = Engine.workload("sdss", 2, seed=5)
+        session = engine.session("s")
+        session.append(*log)
+        session.interface()
+        store.save("s", {"version": 1}, generation=99)  # a newer writer won
+        assert not writer.on_delivered("s")  # rejected, not raised
+
+
+def _child_payload(workload, queue):
+    """Subprocess: serve a session and ship its snapshot payload."""
+    engine = Engine(config=TINY)
+    log = Engine.workload(workload, 4, seed=5)
+    session = engine.session("x")
+    session.append(*log)
+    report = session.interface()
+    queue.put(
+        {
+            "payload": json.loads(
+                json.dumps(engine.snapshot_session("x").to_payload())
+            ),
+            "cost": report.cost,
+            "fingerprint": report.difftree.canonical_key,
+        }
+    )
+
+
+class TestCrossProcess:
+    def test_two_processes_payloads_restore_to_identical_fingerprints(self):
+        # The symbol re-interning regression (PR 8): two processes build
+        # their own symbol tables, so shipped payloads carry ids that
+        # mean nothing here — from_payload must re-intern heads through
+        # this process's SYMBOLS, landing both payloads on the same
+        # canonical trees and costs.
+        ctx = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        queue = ctx.Queue()
+        procs = [
+            ctx.Process(target=_child_payload, args=("sdss", queue))
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        shipped = [queue.get(timeout=120) for _ in procs]
+        for p in procs:
+            p.join(timeout=30)
+
+        reports = []
+        for item in shipped:
+            engine = Engine(config=TINY)
+            handle = engine.restore_snapshot(item["payload"])
+            report = handle.interface()
+            assert report.cost == item["cost"]
+            assert report.difftree.canonical_key == item["fingerprint"]
+            reports.append(report)
+        assert (
+            reports[0].difftree.canonical_key
+            == reports[1].difftree.canonical_key
+        )
+        assert reports[0].cost == reports[1].cost

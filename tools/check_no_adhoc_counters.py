@@ -42,6 +42,10 @@ ALLOWLIST = {
     # kept as a plain-slots singleton because the encode/extend hot loops
     # bump it per node.
     ("repro/difftree/columnar.py", "STATS"),
+    # Registered via register_source("serve.cluster", ...); plain-field
+    # singleton because the worker emit loop and the front's dispatch/
+    # reap paths bump it per message.
+    ("repro/serve/cluster.py", "STATS"),
 }
 
 #: Class-name suffixes that mark a counter-ish singleton.
