@@ -54,7 +54,12 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from .. import memo as _memo
 from ..difftree import DTNode, Path, assignment_for
 from ..difftree.columnar import Topology
-from ..difftree.express import Assignment, CompiledChanges, changed_choice_sets
+from ..difftree.express import (
+    Assignment,
+    CompiledChanges,
+    changed_choice_sets,
+    changed_choices,
+)
 from ..layout.boxes import BOX_GAP, BOX_PADDING, HEADER_HEIGHT, TITLE_HEIGHT, Screen
 from ..memo import BoundedLRU
 from ..sqlast import nodes as N
@@ -255,6 +260,55 @@ class CompiledSequence:
         )
         return CompiledSequence(
             queries=all_queries, assignments=assignments, changes=changes
+        )
+
+    def without(
+        self, indices: Sequence[int]
+    ) -> Tuple["CompiledSequence", int]:
+        """Sequence with the queries at ``indices`` removed.
+
+        The retention-window primitive: surviving assignments and pair
+        sets are reused verbatim; only the *rejoined* boundary pairs —
+        consecutive survivors that were not adjacent before the removal
+        — are re-diffed.  A retired prefix of ``k`` queries therefore
+        recomputes at most one pair, however long the log.
+
+        Returns ``(new_sequence, pairs_rediffed)``; pair order is
+        preserved, so downstream float accumulations stay bitwise
+        identical to a from-scratch compile of the surviving log.
+        """
+        dropped = {i for i in indices if 0 <= i < len(self.queries)}
+        if not dropped:
+            return self, 0
+        keep = [i for i in range(len(self.queries)) if i not in dropped]
+        queries = tuple(self.queries[i] for i in keep)
+        if not self.ok:
+            return (
+                CompiledSequence(queries=queries, assignments=None, changes=None),
+                0,
+            )
+        assignments = [self.assignments[i] for i in keep]
+        pair_paths: List[Tuple[Path, ...]] = []
+        rediffed = 0
+        for a, b in zip(keep, keep[1:]):
+            if b == a + 1:
+                pair_paths.append(self.changes.pair_paths[a])
+            else:
+                pair_paths.append(
+                    tuple(
+                        changed_choices(
+                            self.assignments[a], self.assignments[b]
+                        )
+                    )
+                )
+                rediffed += 1
+        return (
+            CompiledSequence(
+                queries=queries,
+                assignments=assignments,
+                changes=CompiledChanges.from_pair_paths(pair_paths),
+            ),
+            rediffed,
         )
 
 

@@ -131,6 +131,24 @@ class CostModel:
         """The compiled sequence of ``tree`` (for serve-layer carry-over)."""
         return self.kernel_for(tree).sequence
 
+    def sequence_universe(self, tree: DTNode):
+        """``tree``'s exercised choice-path set, if already compiled.
+
+        A pure *peek* into the bounded kernel cache — never compiles.
+        The search-tree carry (:mod:`repro.search.carry`) harvests these
+        as each carried node's invalidation scope; ``None`` (state never
+        evaluated, or its kernel already evicted) makes the carry treat
+        the node's scope as unknown and invalidate it on any append.
+        """
+        kernel = self._kernels.get(tree.canonical_key)
+        if (
+            kernel is not None
+            and kernel.sequence.ok
+            and kernel.sequence.changes is not None
+        ):
+            return kernel.sequence.changes.path_set
+        return None
+
     def adopt_sequences(self, carried: Mapping[str, CompiledSequence]) -> None:
         """Seed prior-run compiled sequences, keyed by difftree canonical key.
 

@@ -261,6 +261,27 @@ class CompiledChanges:
             self.pair_paths + tuple(tuple(pair) for pair in tail_pair_paths)
         )
 
+    @property
+    def path_set(self) -> FrozenSet[Path]:
+        """Every choice path any pair of this sequence touches.
+
+        The *compiled choice-set* of the (difftree, query log) pair: the
+        decision territory the log has actually exercised.  The carried
+        search tree (:mod:`repro.search.carry`) compares an append's
+        changed paths against this set to decide whether a carried
+        node's statistics are still trustworthy.
+        """
+        return frozenset(self.paths)
+
+    def paths_of_pairs(self, start: int) -> FrozenSet[Path]:
+        """Union of changed paths over ``pair_paths[start:]``.
+
+        The *delta* of an append: with ``start`` at the old pair count,
+        this is exactly the set of choice paths the appended queries
+        touch — the invalidation scope of the FO+MOD-style maintainable
+        search state.
+        """
+        return frozenset(p for pair in self.pair_paths[start:] for p in pair)
 
 # -- enumeration / counting ----------------------------------------------------
 

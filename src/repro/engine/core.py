@@ -91,6 +91,35 @@ class LogSession:
         self._history.append(report)
         return report
 
+    def remove(self, indices: Sequence[int]) -> int:
+        """Delete the queries at ``indices``; returns the new log length.
+
+        The session's warm-start carry — compiled sequences, carried
+        search tree, prior best/elites — is shrunk in place with bounded
+        recompute, not dropped (see
+        :meth:`repro.serve.IncrementalGenerator.remove`).
+        """
+        self._engine._touch_session(self.session_id)
+        return self._engine._incremental_service().remove(
+            indices, session_id=self.session_id
+        )
+
+    def retain(
+        self,
+        last_n: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+    ) -> int:
+        """Apply a retention window (count and/or age); returns the new length.
+
+        ``retain(last_n=100)`` keeps the 100 most recent queries;
+        ``retain(max_age_s=3600)`` drops everything ingested more than
+        an hour ago; combining both applies the stricter bound.
+        """
+        self._engine._touch_session(self.session_id)
+        return self._engine._incremental_service().retain(
+            last_n=last_n, max_age_s=max_age_s, session_id=self.session_id
+        )
+
     def history(self) -> Tuple[GenerationReport, ...]:
         """Retained reports, oldest first (the engine's ``max_history``
         most recent ones)."""
@@ -502,6 +531,7 @@ class Engine:
             ingest_stats=self.ingest_stats,
             timings=timings,
             snapshot=self._restored.get(session_id),
+            carry=pending.carry if searched else None,
         )
         report.trace = spans
         _emit_report(report, verb="session.interface")

@@ -20,9 +20,11 @@ from ..core import GeneratedInterface
 #: Bump when the ``to_dict`` wire shape changes.  Version 2 added the
 #: ``trace`` section and guaranteed per-phase ``timings`` keys; version
 #: 3 added ``provenance.snapshot`` (set when the session was rehydrated
-#: from a durable snapshot).  All additive, so older consumers keep
+#: from a durable snapshot); version 4 added ``provenance.carry`` (set
+#: when the search rebased a carried tree — nodes carried / invalidated
+#: / re-keyed / reopened).  All additive, so older consumers keep
 #: reading newer envelopes.
-REPORT_SCHEMA_VERSION = 3
+REPORT_SCHEMA_VERSION = 4
 
 #: Phase keys every report's ``timings`` dict carries (0.0 when a phase
 #: did not run for that verb — e.g. a cache hit searches for 0 s).
@@ -90,6 +92,11 @@ class GenerationReport:
             :class:`~repro.serve.SessionSnapshot` (``None`` for never-
             restored sessions): the restored generation and snapshot
             schema version.  Additive to schema_version 3.
+        carry: search-tree carry provenance when this call's search
+            rebased a carried tree (``None`` for cold runs, cache hits,
+            and gate-off runs): nodes carried / invalidated / re-keyed /
+            reopened plus the append size the rebase diffed.  Additive
+            to schema_version 4.
     """
 
     result: GeneratedInterface
@@ -104,6 +111,7 @@ class GenerationReport:
     scheduling: Optional[Dict[str, Any]] = None
     trace: List[Dict[str, Any]] = field(default_factory=list)
     snapshot: Optional[Dict[str, Any]] = None
+    carry: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.source not in SOURCES:
@@ -172,6 +180,11 @@ class GenerationReport:
                 "snapshot": (
                     _jsonable(dict(self.snapshot))
                     if self.snapshot is not None
+                    else None
+                ),
+                "carry": (
+                    _jsonable(dict(self.carry))
+                    if self.carry is not None
                     else None
                 ),
             },

@@ -252,6 +252,41 @@ def columnar(enabled: bool):
         _columnar = previous
 
 
+# -- carry gate -----------------------------------------------------------------
+#
+# Third switch in the same style: carrying the MCTS search tree across a
+# serving session's appends with delta-scoped invalidation
+# (:mod:`repro.search.carry`).  Like the columnar gate it is subordinate
+# to the fast-path gate — the reference mode (``fast_paths(False)``) must
+# re-explore the full decision space from scratch, which doubles as the
+# parity oracle the maintainable-search benchmark compares against.
+
+_carry = True
+
+
+def carry_enabled() -> bool:
+    """Whether the cross-append search-tree carry is active (default: yes)."""
+    return _carry and _fast_paths
+
+
+def set_carry(enabled: bool) -> None:
+    """Globally enable/disable the search-tree carry (benchmarks/tests)."""
+    global _carry
+    _carry = bool(enabled)
+
+
+@contextmanager
+def carry(enabled: bool):
+    """Temporarily force the carry gate (restores the prior setting)."""
+    global _carry
+    previous = _carry
+    _carry = bool(enabled)
+    try:
+        yield
+    finally:
+        _carry = previous
+
+
 # -- memo-table registry --------------------------------------------------------
 
 _CLEARERS: List[Callable[[], None]] = []

@@ -5,6 +5,7 @@ and a resumable :class:`SearchTask` (``open`` → ``step`` → ``result``)
 the multi-session scheduler time-slices.
 """
 
+from .carry import CarriedTree, CarryStats
 from .baselines import (
     BeamSearchTask,
     ExhaustiveSearchTask,
@@ -26,6 +27,8 @@ from .common import (
 from .mcts import MCTS, MCTSConfig, MCTSTask, mcts_search
 
 __all__ = [
+    "CarriedTree",
+    "CarryStats",
     "MCTS",
     "MCTSConfig",
     "MCTSTask",

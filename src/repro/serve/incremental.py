@@ -50,6 +50,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from .. import memo as _memo
 from ..obs import collecting as _collecting, trace as _trace
 from ..core import (
     GeneratedInterface,
@@ -62,6 +63,7 @@ from ..difftree import DTNode, extend_difftree
 from ..layout import Screen
 from ..registry import strategy_spec
 from ..rules import RuleEngine
+from ..search.carry import STATS as CARRY_STATS, CarriedTree
 from ..search.mcts import MCTS, MCTSTask
 from .cache import InterfaceCache, context_key
 from .stream import QueryLike, SessionRouter
@@ -81,6 +83,11 @@ class _SessionState:
     #: run's winner/elites; the next run's cost model extends these so
     #: appended queries only diff the new pairs.
     sequences: Dict[str, CompiledSequence] = field(default_factory=dict)
+    #: The previous run's harvested search tree (UCT statistics +
+    #: per-state choice-path universes); the next run rebases it with
+    #: delta-scoped invalidation instead of re-exploring from scratch.
+    #: ``None`` until a search finishes (or when the carry gate is off).
+    tree: Optional[CarriedTree] = None
 
 
 class PendingSearch:
@@ -129,6 +136,11 @@ class PendingSearch:
         #: filled by :meth:`IncrementalGenerator.open_search` and
         #: :meth:`finish`; consumed by report builders.
         self.timings: Dict[str, float] = {}
+        #: Search-tree carry provenance of this run (``None`` when no
+        #: carried tree was rebased — cold runs, cache hits, gate off):
+        #: nodes carried / invalidated / re-keyed / reopened.  Surfaced
+        #: through :class:`~repro.engine.report.GenerationReport`.
+        self.carry: Optional[Dict[str, int]] = None
 
     @property
     def log_size(self) -> int:
@@ -172,6 +184,19 @@ class PendingSearch:
                 state.log_len = len(self._asts)
                 state.best = result.difftree
                 state.elite = elite
+                # Carry the search tree itself: transposition table,
+                # UCT statistics, and per-state choice-path universes
+                # (peeked from the kernel cache the sequences above just
+                # refreshed).  The next open_search rebases it.
+                if _memo.carry_enabled():
+                    state.tree = CarriedTree.harvest(
+                        self._mcts,
+                        model,
+                        log_len=len(self._asts),
+                        max_nodes=service.carry_max_nodes,
+                    )
+                else:
+                    state.tree = None
             # Bound the cache tags to the snapshot taken at open time: a
             # concurrent append during the search must not tag this entry
             # with queries the generated interface never saw.
@@ -195,6 +220,9 @@ class IncrementalGenerator:
         router: session router to ingest through (default: 8 shards).
         warm_top_k: how many elite transposition-table states (beyond
             the best) to extend and re-seed on the next run.
+        carry_max_nodes: harvest cap of the carried search tree — at
+            most this many transposition-table nodes (most-visited
+            first, parent-closed) survive between a session's runs.
     """
 
     def __init__(
@@ -205,6 +233,7 @@ class IncrementalGenerator:
         cache: Optional[InterfaceCache] = None,
         router: Optional[SessionRouter] = None,
         warm_top_k: int = 4,
+        carry_max_nodes: int = 256,
     ) -> None:
         config = config or GenerationConfig()
         if not strategy_spec(config.strategy).supports_warm_start:
@@ -226,6 +255,7 @@ class IncrementalGenerator:
         self.cache = cache if cache is not None else InterfaceCache()
         self.router = router if router is not None else SessionRouter()
         self.warm_top_k = warm_top_k
+        self.carry_max_nodes = carry_max_nodes
         self._sessions: Dict[str, _SessionState] = {}
         self._ctx = context_key(self.screen, self.config)
         #: Guards the per-session carry table and counters — scheduler
@@ -250,29 +280,109 @@ class IncrementalGenerator:
         return self.router.ingest_totals()
 
     def drop_session(self, session_id: str = DEFAULT_SESSION) -> bool:
-        """Forget a session's stream and warm-start carry; True if it existed."""
+        """Forget a session's stream and warm-start carry; True if it existed.
+
+        Releases the whole carry — warm states, compiled sequences, and
+        the carried search tree with its node graph — so a bounded
+        engine's eviction cannot leak ``_TreeNode`` graphs.
+        """
         existed = self.router.drop(session_id)
         with self._lock:
             carried = self._sessions.pop(session_id, None) is not None
         return carried or existed
+
+    def remove(
+        self, indices, session_id: str = DEFAULT_SESSION
+    ) -> int:
+        """Delete queries from a session's log; returns the new length.
+
+        Bounded recompute, not a cold restart: the session's carried
+        compiled sequences are retracted in place (only rejoined
+        boundary pairs re-diffed), the carried search tree's coverage
+        and universes shrink accordingly, and the warm-start offset is
+        shifted — the prior best/elite states still express every
+        surviving query (removal only shrinks the log they covered), so
+        the next search stays warm.
+        """
+        removed = self.router.remove(session_id, indices)
+        self._retract(session_id, removed)
+        return len(self.router.stream(session_id))
+
+    def retain(
+        self,
+        last_n: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+        session_id: str = DEFAULT_SESSION,
+    ) -> int:
+        """Apply a retention window (count and/or age); returns the new length.
+
+        See :meth:`~repro.serve.stream.LogStream.retain` for the window
+        semantics and :meth:`remove` for the bounded-recompute carry
+        maintenance.
+        """
+        removed = self.router.retain(
+            session_id, last_n=last_n, max_age_s=max_age_s
+        )
+        self._retract(session_id, removed)
+        return len(self.router.stream(session_id))
+
+    def _retract(self, session_id: str, removed: Tuple[int, ...]) -> None:
+        """Shrink a session's carry after ``removed`` log indices went away."""
+        if not removed:
+            return
+        CARRY_STATS.retention_removals += len(removed)
+        with self._lock:
+            state = self._sessions.get(session_id)
+            if state is None:
+                return
+            state.log_len -= sum(1 for i in removed if i < state.log_len)
+            # Retract the carried compiled sequences in place: each one
+            # covers a prefix of the pre-removal log, so indices below
+            # its coverage map one-to-one and the retraction re-diffs
+            # only the rejoined boundary pairs.
+            retracted: Dict[str, CompiledSequence] = {}
+            for key, sequence in state.sequences.items():
+                in_range = [i for i in removed if i < len(sequence.queries)]
+                if in_range:
+                    sequence, rediffed = sequence.without(in_range)
+                    CARRY_STATS.retention_retracts += 1
+                    CARRY_STATS.retention_pairs_rediffed += rediffed
+                retracted[key] = sequence
+            state.sequences = retracted
+            tree = state.tree
+            if tree is not None:
+                tree.log_len -= sum(1 for i in removed if i < tree.log_len)
+                # Carried states expressed the whole pre-removal log, so
+                # they still express the surviving subset; only their
+                # invalidation scopes shrink, tracked where the freshly
+                # retracted sequences cover them.
+                for key, sequence in retracted.items():
+                    if key in tree.universes and sequence.ok:
+                        tree.universes[key] = sequence.changes.path_set
 
     # -- snapshot interop ----------------------------------------------------
 
     def export_session(
         self, session_id: str = DEFAULT_SESSION
     ) -> Optional[Tuple[int, Optional[DTNode], Tuple[DTNode, ...],
-                        Dict[str, CompiledSequence]]]:
+                        Dict[str, CompiledSequence], Optional[CarriedTree]]]:
         """The session's carry, read atomically (None when it has none).
 
         The :mod:`repro.serve.snapshot` capture path: returns
-        ``(log_len, best, elite, sequences)`` — everything the next
-        :meth:`open_search` would consume beyond the log itself.
+        ``(log_len, best, elite, sequences, tree)`` — everything the
+        next :meth:`open_search` would consume beyond the log itself.
         """
         with self._lock:
             state = self._sessions.get(session_id)
             if state is None:
                 return None
-            return (state.log_len, state.best, state.elite, dict(state.sequences))
+            return (
+                state.log_len,
+                state.best,
+                state.elite,
+                dict(state.sequences),
+                state.tree,
+            )
 
     def import_session(
         self,
@@ -281,6 +391,7 @@ class IncrementalGenerator:
         best: Optional[DTNode],
         elite: Tuple[DTNode, ...] = (),
         sequences: Optional[Dict[str, CompiledSequence]] = None,
+        tree: Optional[CarriedTree] = None,
     ) -> None:
         """Install a session carry wholesale (the snapshot restore path).
 
@@ -293,6 +404,7 @@ class IncrementalGenerator:
             state.best = best
             state.elite = tuple(elite)
             state.sequences = dict(sequences or {})
+            state.tree = tree
 
     # -- generation ---------------------------------------------------------
 
@@ -344,8 +456,28 @@ class IncrementalGenerator:
                 # sets, paying matcher/diff cost only for the appended pairs.
                 if state.sequences:
                     model.adopt_sequences(state.sequences)
+                # Rebase the carried search tree onto the grown difftree:
+                # survivors keep their UCT statistics, subtrees whose
+                # decisions touch the append's changed choice-paths are
+                # invalidated, and the rebased table seeds the MCTS
+                # transposition table below.
+                node_table = None
+                carry_prov = None
+                if state.tree is not None and _memo.carry_enabled():
+                    carried = state.tree
+                    boundary = (
+                        asts[carried.log_len - 1] if carried.log_len else None
+                    )
+                    node_table, carry_prov = carried.rebase(
+                        initial, boundary, asts[carried.log_len :]
+                    )
                 timings["difftree_s"] = time.perf_counter() - difftree_started
-                mcts = MCTS(model, engine=engine, config=as_mcts_config(self.config))
+                mcts = MCTS(
+                    model,
+                    engine=engine,
+                    config=as_mcts_config(self.config),
+                    node_table=node_table,
+                )
                 # Warm seeding inside open() spends search budget, so the
                 # task's active clock (-> ``search_s``) accounts for it.
                 task = mcts.open(initial, warm_states=warm)
@@ -361,6 +493,7 @@ class IncrementalGenerator:
                     initial=initial,
                     state=state,
                 )
+                pending.carry = carry_prov
         pending.spans.extend(spans)
         pending.timings.update(timings)
         return pending

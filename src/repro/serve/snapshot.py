@@ -90,6 +90,14 @@ class SessionSnapshot:
             search diagnostics (strategy/elapsed/history/stats) + the
             expected cost (restore-time integrity check).  ``None`` when
             the entry was evicted or never produced.
+        carry: the session's carried search tree
+            (:meth:`repro.search.carry.CarriedTree.to_payload`):
+            transposition-table nodes with UCT statistics and choice-path
+            universes, in insertion order so a restored session's next
+            search rebases — and tie-breaks — exactly like the
+            uninterrupted one.  ``None`` when the session never searched
+            or the carry gate was off.  Additive to schema version 1;
+            payloads without the field restore with no carried tree.
         accounting: free-form scheduler/cluster bookkeeping carried
             through the store (e.g. how many chunks were delivered —
             the cluster's replay-dedup cursor).
@@ -103,6 +111,7 @@ class SessionSnapshot:
     best: Optional[Dict[str, Any]] = None
     elite: List[Dict[str, Any]] = field(default_factory=list)
     cached: Optional[Dict[str, Any]] = None
+    carry: Optional[Dict[str, Any]] = None
     accounting: Dict[str, Any] = field(default_factory=dict)
 
     # -- capture -------------------------------------------------------------
@@ -134,8 +143,9 @@ class SessionSnapshot:
             log_len = 0
             best: Optional[DTNode] = None
             elite: Tuple[DTNode, ...] = ()
+            carried = None
             if exported is not None:
-                log_len, best, elite, _sequences = exported
+                log_len, best, elite, _sequences, carried = exported
             snapshot = cls(
                 session_id=session_id,
                 generation=len(asts),
@@ -144,6 +154,7 @@ class SessionSnapshot:
                 log_len=log_len,
                 best=ColumnarTree.payload_of(best),
                 elite=[ColumnarTree.payload_of(tree) for tree in elite],
+                carry=carried.to_payload() if carried is not None else None,
                 accounting=dict(accounting or {}),
             )
             if asts:
@@ -191,6 +202,7 @@ class SessionSnapshot:
             "best": self.best,
             "elite": self.elite,
             "cached": self.cached,
+            "carry": self.carry,
             "accounting": self.accounting,
         }
 
@@ -235,6 +247,11 @@ class SessionSnapshot:
             unknown = set(cached["stats"]) - _STATS_FIELDS
             if unknown:
                 raise SnapshotError(f"cached entry has unknown stats {sorted(unknown)}")
+        carry = payload.get("carry")
+        if carry is not None and (
+            not isinstance(carry, dict) or "nodes" not in carry
+        ):
+            raise SnapshotError("carry payload must be a dict with nodes")
         return cls(
             session_id=payload["session_id"],
             generation=generation,
@@ -244,6 +261,7 @@ class SessionSnapshot:
             best=payload.get("best"),
             elite=list(payload.get("elite") or ()),
             cached=cached,
+            carry=carry,
             accounting=dict(payload.get("accounting") or {}),
         )
 
@@ -293,12 +311,23 @@ class SessionSnapshot:
                     key = tree.canonical_key
                     if key not in sequences:
                         sequences[key] = CompiledSequence.compile(tree, prior)
+            carried = None
+            if self.carry is not None:
+                from ..search.carry import CarriedTree
+
+                try:
+                    carried = CarriedTree.from_payload(self.carry)
+                except (KeyError, ValueError, TypeError) as exc:
+                    raise SnapshotError(
+                        f"corrupt carried-tree payload: {exc}"
+                    ) from exc
             service.import_session(
                 self.session_id,
                 log_len=self.log_len,
                 best=best,
                 elite=elite,
                 sequences=sequences,
+                tree=carried,
             )
             if self.cached is not None:
                 self._restore_cached(engine, stream)

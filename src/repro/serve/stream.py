@@ -13,9 +13,10 @@ instead of serializing on one global lock.
 from __future__ import annotations
 
 import threading
+import time
 import zlib
-from bisect import bisect_left, insort
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from bisect import bisect_left, bisect_right, insort
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .. import memo as _memo
 from ..difftree import wrap_ast
@@ -53,12 +54,20 @@ class LogStream:
         self._sql: List[str] = []
         self._asts: List[Node] = []
         self._query_keys: List[str] = []
+        #: Per-entry ingest timestamps (``time.monotonic()``), the
+        #: material of age-based :meth:`retain` windows.  Nondecreasing
+        #: by construction, so an age cutoff is one bisect.
+        self._times: List[float] = []
         #: Sorted distinct per-query keys, maintained per append — the
         #: material of :meth:`log_key`.  The digest is cached and only
-        #: invalidated when the distinct *set* grows (duplicate appends
-        #: leave it valid), so keying a session is O(1) amortized
-        #: instead of re-keying the whole log per probe.
+        #: invalidated when the distinct *set* changes (duplicate appends
+        #: and duplicate removals leave it valid), so keying a session is
+        #: O(1) amortized instead of re-keying the whole log per probe.
         self._distinct_keys: List[str] = []
+        #: Multiplicity per distinct key — lets :meth:`remove` retire a
+        #: key from the sorted set exactly when its last occurrence goes,
+        #: without rescanning the log.
+        self._key_counts: Dict[str, int] = {}
         self._log_key: Optional[str] = None
         self._parse_cache: Dict[str, Node] = (
             parse_cache if parse_cache is not None else {}
@@ -127,11 +136,10 @@ class LogStream:
             self._sql.append(query if isinstance(query, str) else "")
             self._asts.append(ast)
             self._query_keys.append(key)
-            position = bisect_left(self._distinct_keys, key)
-            if (
-                position == len(self._distinct_keys)
-                or self._distinct_keys[position] != key
-            ):
+            self._times.append(time.monotonic())
+            count = self._key_counts.get(key, 0)
+            self._key_counts[key] = count + 1
+            if count == 0:
                 insort(self._distinct_keys, key)
                 self._log_key = None
         return len(self._asts)
@@ -185,9 +193,81 @@ class LogStream:
             del self._sql[length:]
             del self._asts[length:]
             del self._query_keys[length:]
-            self._distinct_keys = sorted(set(self._query_keys))
+            del self._times[length:]
+            self._key_counts = {}
+            for key in self._query_keys:
+                self._key_counts[key] = self._key_counts.get(key, 0) + 1
+            self._distinct_keys = sorted(self._key_counts)
             self._log_key = None
         return len(self._asts)
+
+    def remove(self, indices: Iterable[int]) -> Tuple[int, ...]:
+        """Delete the queries at ``indices``; returns them sorted ascending.
+
+        Survivors keep their relative order.  Bounded recompute: each
+        removal retires its key from the sorted distinct set only when
+        its *last* occurrence goes (multiplicity-counted), and the log
+        fingerprint digest is invalidated only when the distinct set
+        actually shrank — removing one copy of a repeated query leaves
+        :meth:`log_key` cached.
+        """
+        length = len(self._asts)
+        normalized = sorted({i if i >= 0 else i + length for i in indices})
+        if not normalized:
+            return ()
+        if normalized[0] < 0 or normalized[-1] >= length:
+            raise IndexError(
+                f"remove indices {normalized} outside the {length}-query log"
+            )
+        for i in reversed(normalized):
+            key = self._query_keys[i]
+            del self._sql[i]
+            del self._asts[i]
+            del self._query_keys[i]
+            del self._times[i]
+            count = self._key_counts[key] - 1
+            if count:
+                self._key_counts[key] = count
+            else:
+                del self._key_counts[key]
+                del self._distinct_keys[bisect_left(self._distinct_keys, key)]
+                self._log_key = None
+        return tuple(normalized)
+
+    def retain(
+        self,
+        last_n: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> Tuple[int, ...]:
+        """Keep only a retention window of the log; returns the dropped indices.
+
+        Args:
+            last_n: keep at most the ``last_n`` most recent queries.
+            max_age_s: drop queries ingested more than this many seconds
+                ago (by the stream's monotonic clock).
+            now: clock override for tests (default ``time.monotonic()``).
+
+        Both bounds may be combined (the stricter wins).  Retention only
+        ever retires a *prefix* — appends are time-ordered — so the
+        recompute downstream carriers pay is bounded by one rejoined
+        boundary pair (see ``CompiledSequence.without``).
+        """
+        if last_n is None and max_age_s is None:
+            raise ValueError("retain() needs last_n and/or max_age_s")
+        drop_before = 0
+        if last_n is not None:
+            if last_n < 0:
+                raise ValueError(f"last_n must be >= 0, got {last_n}")
+            drop_before = max(drop_before, len(self._asts) - last_n)
+        if max_age_s is not None:
+            if max_age_s < 0:
+                raise ValueError(f"max_age_s must be >= 0, got {max_age_s}")
+            cutoff = (time.monotonic() if now is None else now) - max_age_s
+            drop_before = max(drop_before, bisect_right(self._times, cutoff))
+        if drop_before <= 0:
+            return ()
+        return self.remove(range(drop_before))
 
 
 class _Shard:
@@ -278,6 +358,30 @@ class SessionRouter:
             if stream is None:
                 return 0
             return stream.truncate(length)
+
+    def remove(self, session_id: str, indices: Iterable[int]) -> Tuple[int, ...]:
+        """Delete queries from a session's log (empty tuple if absent)."""
+        shard = self._shards[self.shard_of(session_id)]
+        with shard.lock:
+            stream = shard.streams.get(session_id)
+            if stream is None:
+                return ()
+            return stream.remove(indices)
+
+    def retain(
+        self,
+        session_id: str,
+        last_n: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+    ) -> Tuple[int, ...]:
+        """Apply a retention window to a session's log (see
+        :meth:`LogStream.retain`); returns the dropped indices."""
+        shard = self._shards[self.shard_of(session_id)]
+        with shard.lock:
+            stream = shard.streams.get(session_id)
+            if stream is None:
+                return ()
+            return stream.retain(last_n=last_n, max_age_s=max_age_s)
 
     def drop(self, session_id: str) -> bool:
         """Forget a session's stream; returns whether it existed."""

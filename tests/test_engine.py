@@ -313,7 +313,7 @@ class TestGenerationReport:
         report = Engine(config=FAST).generate(listing1_sql(1, 3))
         payload = report.to_dict()
         roundtrip = json.loads(json.dumps(payload))
-        assert roundtrip["schema_version"] == 3
+        assert roundtrip["schema_version"] == 4
         assert roundtrip["source"] == "search"
         assert roundtrip["strategy"] == "mcts"
         assert roundtrip["log_size"] == 3

@@ -188,7 +188,7 @@ class TestIngestReporting:
         assert report.ingest_stats  # sampled
         payload = report.to_dict()
         ingest = payload["provenance"]["ingest"]
-        assert payload["schema_version"] == 3
+        assert payload["schema_version"] == 4
         for key in (
             "parses",
             "node_intern_hits",

@@ -244,10 +244,10 @@ class TestSinks:
 
 
 class TestReportIntegration:
-    def test_schema_v3_has_trace_and_phase_timings(self):
+    def test_schema_has_trace_and_phase_timings(self):
         report = Engine(config=TINY).generate(LOG)
         payload = report.to_dict()
-        assert payload["schema_version"] == REPORT_SCHEMA_VERSION == 3
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION == 4
         assert payload["trace"] == []  # disabled -> no spans, key present
         for phase in TIMING_PHASES:
             assert phase in payload["timings"]

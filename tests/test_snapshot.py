@@ -92,6 +92,40 @@ class TestRoundTrip:
         assert theirs.difftree.canonical_key == ours.difftree.canonical_key
         assert theirs.search.stats == ours.search.stats
 
+    def test_carried_tree_rides_through_snapshot(self):
+        # PR 9: the carried MCTS tree is an additive optional `carry`
+        # field — the restored session's next searched serve rebases the
+        # snapshotted tree instead of starting from an empty table.
+        engine = Engine(config=TINY)
+        grown_session(engine, "sdss")
+        payload = json.loads(
+            json.dumps(engine.snapshot_session("snap").to_payload())
+        )
+        assert payload["carry"] is not None
+        assert payload["carry"]["nodes"]
+        assert payload["carry"]["log_len"] == 4
+
+        other = Engine(config=TINY)
+        handle = other.restore_snapshot(payload)
+        handle.append(*Engine.workload("sdss", 6, seed=5)[4:])
+        report = handle.interface()
+        assert report.source == "search"
+        carry = report.to_dict()["provenance"]["carry"]
+        assert carry is not None
+        assert carry["nodes_harvested"] == len(payload["carry"]["nodes"])
+        assert carry["nodes_carried"] >= 1  # the root always survives
+
+    def test_payload_without_carry_restores(self):
+        # Pre-PR-9 payloads have no `carry` key; restore must not care.
+        engine = Engine(config=TINY)
+        _, original = grown_session(engine, "sdss")
+        payload = engine.snapshot_session("snap").to_payload()
+        del payload["carry"]
+        handle = Engine(config=TINY).restore_snapshot(payload)
+        restored = handle.interface()
+        assert restored.source == "cache"
+        assert restored.cost == original.cost
+
     def test_restore_provenance_lands_in_reports(self):
         engine = Engine(config=TINY)
         grown_session(engine, "sdss")
@@ -178,6 +212,25 @@ class TestRejection:
         payload["best"]["parent"] = payload["best"]["parent"][:-1]
         other = Engine(config=TINY)
         with pytest.raises(SnapshotError):
+            other.restore_snapshot(payload)
+
+    def test_malformed_carry_refused(self):
+        payload = self.payload()
+        payload["carry"] = {"universes": []}  # no nodes
+        with pytest.raises(SnapshotError, match="carry"):
+            SessionSnapshot.from_payload(payload)
+
+    def test_corrupt_carry_parent_refused_at_restore(self):
+        # A forward/self parent index breaks the topological-order
+        # invariant the rebase relies on; the deep parse at restore time
+        # must refuse it rather than build a cyclic table.
+        payload = self.payload()
+        assert payload["carry"]["nodes"]
+        payload["carry"]["nodes"][-1]["parent"] = len(
+            payload["carry"]["nodes"]
+        )
+        other = Engine(config=TINY)
+        with pytest.raises(SnapshotError, match="carried-tree"):
             other.restore_snapshot(payload)
 
 

@@ -46,6 +46,9 @@ ALLOWLIST = {
     # singleton because the worker emit loop and the front's dispatch/
     # reap paths bump it per message.
     ("repro/serve/cluster.py", "STATS"),
+    # Registered via register_source("search.carry", ...); plain-field
+    # singleton because harvest/rebase/retention paths bump it per node.
+    ("repro/search/carry.py", "STATS"),
 }
 
 #: Class-name suffixes that mark a counter-ish singleton.
