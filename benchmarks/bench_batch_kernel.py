@@ -1,0 +1,282 @@
+"""BENCH-BATCH: vectorized batch cost kernel vs the scalar delta path.
+
+Two claims (ISSUE 10 / `repro.cost.batch`):
+
+1. **Throughput** — scoring whole candidate populations as nodes ×
+   candidates numpy columns (`BatchCostKernel.evaluate_population`) is
+   >= 3x faster, in candidate-evaluations/sec, than the scalar compiled
+   kernel's per-candidate delta re-evaluation over the same enumeration
+   order — with bit-identical per-candidate breakdowns.
+2. **Equal-iteration search** — MCTS with the batch gate on converges to
+   the *identical* cost and best-state fingerprint as with the gate off
+   at the same iteration budget on the SDSS and TPC-H-style workloads
+   (the batch kernel changes throughput, never results), in less wall
+   clock.
+
+Standalone script (also the CI smoke target), runnable without pytest:
+
+    PYTHONPATH=src python benchmarks/bench_batch_kernel.py \
+        --queries 8 --evals 1024 --iterations 10 --json BENCH_batch_kernel.json
+
+With ``--strict`` the script exits non-zero unless both claims hold.
+Requires numpy (the batch kernel is import-gated; without numpy this
+bench has nothing to measure and exits non-zero).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro import memo
+from repro.cost import CostModel
+from repro.cost.batch import BatchCostKernel, available as batch_available
+from repro.difftree import DTNode, initial_difftree
+from repro.layout import Screen
+from repro.rules import forward_engine
+from repro.search import MCTSConfig, mcts_search
+from repro.sqlast import parse
+from repro.widgets import enumerate_decision_vectors
+from repro.registry import get_workload, workload_names
+import repro.workloads  # noqa: F401  (registers the built-in workloads)
+
+
+def growing_workloads() -> Dict[str, object]:
+    """Registered growing-log generators by name (sdss, tpch, ...)."""
+    return {name: get_workload(name) for name in workload_names(tag="growing")}
+
+
+def factored_state(asts: List, max_steps: int = 200) -> DTNode:
+    """A deterministic well-factored difftree (forward rules to fixpoint)."""
+    engine = forward_engine()
+    tree = initial_difftree(asts)
+    for _ in range(max_steps):
+        moves = [m for m in engine.moves(tree) if m.rule_name != "Multi"]
+        if not moves:
+            break
+        tree = engine.apply(tree, moves[0])
+    return tree
+
+
+# -- benchmark passes ------------------------------------------------------------
+
+
+def throughput_pass(asts: List, screen: Screen, evals: int, chunk: int) -> Dict:
+    """Candidate-evaluations/sec: scalar delta path vs batched populations.
+
+    Both sides walk the same enumeration order and track the running
+    best rank — the work the exhaustive widget pass actually performs.
+    Parity is checked untimed afterwards: every per-candidate breakdown
+    must be bit-identical between the two paths.
+    """
+    state = factored_state(asts)
+    model = CostModel(asts, screen)
+    kernel = model.kernel_for(state)
+    candidates = min(evals, kernel.schema.num_assignments)
+    batch = BatchCostKernel(kernel)
+
+    t0 = time.perf_counter()
+    best_rank = None
+    for _, breakdown in kernel.iter_enumeration(cap=candidates):
+        rank = breakdown.rank
+        if best_rank is None or rank < best_rank:
+            best_rank = rank
+    scalar_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    _, batch_breakdown = batch.enumerate_best(cap=candidates, chunk=chunk)
+    batch_s = time.perf_counter() - t0
+    batch_best = batch_breakdown.rank
+
+    # Untimed parity sweep: bit-identical breakdowns, candidate by
+    # candidate, over the full enumeration prefix.
+    scalar_breakdowns = [
+        b for _, b in kernel.iter_enumeration(cap=candidates)
+    ]
+    vectors = [
+        tuple(v)
+        for v, _ in enumerate_decision_vectors(kernel.schema, cap=candidates)
+    ]
+    mismatches = 0
+    for lo in range(0, len(vectors), chunk):
+        block = vectors[lo : lo + chunk]
+        bb = batch.evaluate_population(block)
+        for j in range(len(block)):
+            if bb.breakdown(j) != scalar_breakdowns[lo + j]:
+                mismatches += 1
+
+    return {
+        "candidates": candidates,
+        "decision_product": kernel.schema.num_assignments,
+        "chunk": chunk,
+        "scalar_seconds": round(scalar_s, 4),
+        "batch_seconds": round(batch_s, 4),
+        "scalar_evals_per_s": round(candidates / scalar_s, 1) if scalar_s else None,
+        "batch_evals_per_s": round(candidates / batch_s, 1) if batch_s else None,
+        "speedup": round(scalar_s / batch_s, 2) if batch_s else None,
+        "best_rank_equal": batch_best == best_rank,
+        "parity_mismatches": mismatches,
+    }
+
+
+def mcts_pass(
+    asts: List, screen: Screen, iterations: int, final_cap: int, seed: int
+) -> Dict:
+    """Equal-iteration MCTS: batch gate on vs off must converge identically."""
+    config = MCTSConfig(
+        time_budget_s=3600.0,  # iteration-capped: wall clock must not bite
+        max_iterations=iterations,
+        seed=seed,
+        final_cap=final_cap,
+    )
+
+    def run(batch_on: bool) -> Dict:
+        model = CostModel(asts, screen)
+        initial = initial_difftree(asts)
+        with memo.batch(batch_on):
+            t0 = time.perf_counter()
+            result = mcts_search(model, initial, config=config)
+            seconds = time.perf_counter() - t0
+        return {
+            "cost": result.best_cost,
+            "fingerprint": result.best_state.canonical_key,
+            "seconds": round(seconds, 3),
+            "states_evaluated": result.stats.states_evaluated,
+            "batched_evals": result.stats.kernel_batched_evals,
+            "batch_fallbacks": result.stats.kernel_batch_fallbacks,
+        }
+
+    scalar = run(batch_on=False)
+    batched = run(batch_on=True)
+    return {
+        "iterations": iterations,
+        "scalar_cost": scalar["cost"],
+        "batch_cost": batched["cost"],
+        "scalar_seconds": scalar["seconds"],
+        "batch_seconds": batched["seconds"],
+        "speedup": (
+            round(scalar["seconds"] / batched["seconds"], 2)
+            if batched["seconds"]
+            else None
+        ),
+        "costs_equal": abs(batched["cost"] - scalar["cost"]) <= 1e-12,
+        "fingerprints_equal": batched["fingerprint"] == scalar["fingerprint"],
+        "states_evaluated": batched["states_evaluated"],
+        "batched_evals": batched["batched_evals"],
+        "batch_fallbacks": batched["batch_fallbacks"],
+    }
+
+
+def run(
+    queries: int, evals: int, iterations: int, final_cap: int, seed: int, chunk: int
+) -> Dict:
+    screen = Screen.wide()
+    workloads: Dict[str, Dict] = {}
+    for name, generator in growing_workloads().items():
+        asts = [parse(q) for q in generator(queries, seed=0)]
+        workloads[name] = {
+            "throughput": throughput_pass(asts, screen, evals, chunk),
+            "mcts": mcts_pass(asts, screen, iterations, final_cap, seed),
+        }
+    speedups = [w["throughput"]["speedup"] for w in workloads.values()]
+    return {
+        "bench": "batch_kernel",
+        "queries": queries,
+        "evals": evals,
+        "iterations": iterations,
+        "final_cap": final_cap,
+        "seed": seed,
+        "chunk": chunk,
+        "workloads": workloads,
+        "min_throughput_speedup": min(speedups),
+        "throughput_geq_3x": all(s >= 3.0 for s in speedups),
+        "parity_clean": all(
+            w["throughput"]["parity_mismatches"] == 0
+            and w["throughput"]["best_rank_equal"]
+            for w in workloads.values()
+        ),
+        "mcts_identical": all(
+            w["mcts"]["costs_equal"] and w["mcts"]["fingerprints_equal"]
+            for w in workloads.values()
+        ),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--queries", type=int, default=8, help="session log size")
+    parser.add_argument(
+        "--evals", type=int, default=1024, help="candidates in the throughput pass"
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=10, help="MCTS iteration budget"
+    )
+    parser.add_argument(
+        "--final-cap", type=int, default=400, help="final widget-pass cap"
+    )
+    parser.add_argument(
+        "--chunk", type=int, default=256, help="batch population size per call"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="search RNG seed")
+    parser.add_argument("--json", metavar="PATH", help="write machine-readable results")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero unless >=3x throughput, zero parity mismatches, "
+        "and identical MCTS convergence with the gate on vs off",
+    )
+    args = parser.parse_args(argv)
+    if args.queries < 2 or args.evals < 2 or args.iterations < 1 or args.chunk < 2:
+        parser.error("--queries/--evals/--chunk must be >= 2, --iterations >= 1")
+    if not batch_available():
+        print("numpy unavailable: the batch kernel cannot run", file=sys.stderr)
+        return 1
+
+    result = run(
+        args.queries, args.evals, args.iterations, args.final_cap, args.seed, args.chunk
+    )
+
+    print("\n=== BENCH-BATCH — batched populations vs scalar delta path ===")
+    for name, data in result["workloads"].items():
+        tp, mc = data["throughput"], data["mcts"]
+        print(
+            f"[{name}] enumeration: {tp['candidates']} candidates  "
+            f"scalar {tp['scalar_evals_per_s']:.0f}/s  "
+            f"batch {tp['batch_evals_per_s']:.0f}/s  "
+            f"speedup {tp['speedup']:.1f}x  "
+            f"(mismatches: {tp['parity_mismatches']})"
+        )
+        print(
+            f"[{name}] mcts x{mc['iterations']} iters: "
+            f"scalar cost {mc['scalar_cost']:.3f} in {mc['scalar_seconds']:.2f}s, "
+            f"batch cost {mc['batch_cost']:.3f} in {mc['batch_seconds']:.2f}s "
+            f"({mc['speedup']}x, identical="
+            f"{mc['costs_equal'] and mc['fingerprints_equal']})"
+        )
+    print(
+        f"\nmin throughput speedup: {result['min_throughput_speedup']:.1f}x "
+        f"(gate: >= 3x) | parity clean: {result['parity_clean']} | "
+        f"mcts identical: {result['mcts_identical']}"
+    )
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    ok = (
+        result["throughput_geq_3x"]
+        and result["parity_clean"]
+        and result["mcts_identical"]
+    )
+    if args.strict and not ok:
+        print("STRICT: acceptance criteria not met", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

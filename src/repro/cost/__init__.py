@@ -1,5 +1,6 @@
 """Cost model C(W,Q), compiled evaluation kernel, and state evaluation."""
 
+from .batch import BatchBreakdowns, BatchCostKernel
 from .evaluate import (
     EvaluatedInterface,
     coordinate_descent,
@@ -20,6 +21,8 @@ __all__ = [
     "CostWeights",
     "CostBreakdown",
     "CostKernel",
+    "BatchCostKernel",
+    "BatchBreakdowns",
     "CompiledSequence",
     "KernelStats",
     "BoundedLRU",

@@ -1,0 +1,849 @@
+"""Vectorized batch cost kernel: score K candidate vectors in one pass.
+
+The scalar :class:`~repro.cost.kernel.CostKernel` made *one* candidate
+cheap (flat arrays + delta re-evaluation), but the search layer rarely
+wants one candidate: MCTS rewards score ``k_assignments`` samples per
+state, the final widget pass enumerates the whole decision product, and
+coordinate descent probes every option of an index.  This module scores
+such a *population* as column-wise numpy ops over ``nodes × candidates``
+arrays — the MonetDB/X100 vectorized-execution idiom applied to widget
+trees:
+
+* **Gather tables** — every widget decision pre-tabulates its options'
+  ``M``/effort/leaf-box values as dense per-option arrays at compile
+  time; loading a population is one fancy-index gather per decision
+  instead of per-candidate dict lookups.
+* **One bottom-up box pass** — bounding boxes are computed in the same
+  reverse-preorder order as the scalar kernel, but each node's formula
+  is evaluated once across the whole candidate axis (orientation
+  decisions compute both layouts and select via a boolean mask).
+* **Masked column reductions** — pair efforts and Steiner costs fold
+  over the candidate axis; pairs whose changed-choice sets touch no
+  decision node collapse to compile-time constants.
+* **Vector feasibility** — the screen check and overflow terms are one
+  elementwise compare per population.
+
+Bit-parity invariant
+    For every column ``j``, :meth:`BatchBreakdowns.breakdown` equals the
+    scalar kernel's :meth:`~repro.cost.kernel.CostKernel.breakdown` of
+    the same vector on **every** field.  numpy's pairwise summation is
+    *not* bit-compatible with Python's sequential float adds, so every
+    reduction along the node/pair axis stays a sequential Python fold
+    whose per-step operation is a numpy elementwise op across the
+    candidate axis; per-element arithmetic replays the scalar formulas
+    in the exact same association order.  The scalar kernel stays the
+    parity oracle behind the ``repro.memo.batch`` gate (subordinate to
+    ``fast_paths``, like the columnar and carry gates).
+
+The scalar delta path still wins for K=1 probes (a single ``apply_delta``
+patches a handful of floats; a batch call re-gathers whole columns), so
+callers batch only genuine populations — see :mod:`repro.cost.evaluate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # numpy is an optional accelerator: no numpy -> scalar fallback
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via available()
+    np = None  # type: ignore[assignment]
+
+from ..layout.boxes import BOX_GAP, BOX_PADDING, HEADER_HEIGHT, TITLE_HEIGHT
+from ..obs import REGISTRY as _OBS_REGISTRY
+from ..obs import enabled as _obs_enabled
+from ..widgets.tree import ORIENTATIONS, WidgetDecision
+from .kernel import CostBreakdown, CostKernel
+
+__all__ = [
+    "BatchBreakdowns",
+    "BatchCompileError",
+    "BatchCostKernel",
+    "BatchStats",
+    "STATS",
+    "available",
+]
+
+
+def available() -> bool:
+    """Whether the batched kernel can run at all (numpy importable)."""
+    return np is not None
+
+
+class BatchCompileError(RuntimeError):
+    """The widget-tree shape defeats batch compilation (fall back to scalar)."""
+
+
+@dataclass
+class BatchStats:
+    """Process-wide batch-kernel counters (see :data:`STATS`).
+
+    Attributes:
+        batch_calls: population loads (``set_population`` calls).
+        batched_evals: candidates scored through the batched path.
+        delta_calls: batched ``apply_delta`` column patches.
+        fallback_scalar_evals: candidates that wanted the batched path
+            (gate on) but ran scalar — numpy missing or compile failed.
+        max_batch_size: largest population seen.
+    """
+
+    batch_calls: int = 0
+    batched_evals: int = 0
+    delta_calls: int = 0
+    fallback_scalar_evals: int = 0
+    max_batch_size: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict snapshot (stable keys, JSON-native values)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+
+#: The process-wide counter instance the batched paths bump.
+STATS = BatchStats()
+
+# Absorbed into the observability registry as ``cost.kernel.batch.*``;
+# the population-size distribution additionally lands in the
+# ``cost.kernel.batch.size`` histogram (observed only when obs is on).
+_OBS_REGISTRY.register_source("cost.kernel.batch", STATS.snapshot)
+
+
+# -- sequential folds across the candidate axis ---------------------------------
+#
+# Rows are either plain Python floats (candidate-invariant nodes) or 1-D
+# float64 arrays of length K.  Folding sequentially — never np.sum /
+# np.max along an axis — keeps every accumulation in the scalar kernel's
+# association order, which is what makes the breakdowns bit-identical.
+
+
+def _fold_sum(rows):
+    total = 0.0
+    for row in rows:
+        total = total + row
+    return total
+
+
+def _fold_max(rows):
+    acc = rows[0]
+    for row in rows[1:]:
+        if isinstance(acc, float) and isinstance(row, float):
+            if row > acc:
+                acc = row
+        else:
+            acc = np.maximum(acc, row)
+    return acc
+
+
+class BatchBreakdowns:
+    """Per-candidate cost columns of one evaluated population.
+
+    Columns materialize to :class:`CostBreakdown` lazily — selection
+    (:meth:`best_index` / :meth:`worst_index`) runs on the arrays, and
+    only the winner pays the object construction.
+    """
+
+    __slots__ = (
+        "m_cost",
+        "u_cost",
+        "feasible",
+        "width",
+        "height",
+        "overflow_w",
+        "overflow_h",
+        "steiner_total",
+        "effort_total",
+        "_pair_rows",
+        "_seq_ok",
+    )
+
+    def __init__(
+        self,
+        m_cost,
+        u_cost,
+        feasible,
+        width,
+        height,
+        overflow_w,
+        overflow_h,
+        steiner_total: int,
+        effort_total,
+        pair_rows: Sequence[object],
+        seq_ok: bool,
+    ) -> None:
+        self.m_cost = m_cost
+        self.u_cost = u_cost
+        self.feasible = feasible
+        self.width = width
+        self.height = height
+        self.overflow_w = overflow_w
+        self.overflow_h = overflow_h
+        self.steiner_total = steiner_total
+        self.effort_total = effort_total
+        self._pair_rows = pair_rows
+        self._seq_ok = seq_ok
+
+    def __len__(self) -> int:
+        return int(self.m_cost.shape[0])
+
+    # -- selection (array-side, scalar tie-break semantics) ------------------
+
+    def rank(self, j: int) -> Tuple[int, float]:
+        """``CostBreakdown.rank`` of column ``j`` (bit-equal tuple).
+
+        Computed on extracted Python floats in the scalar association
+        order, so comparing against a scalar-kernel rank never flips on
+        a representation difference.
+        """
+        if bool(self.feasible[j]):
+            return (0, float(self.m_cost[j]) + float(self.u_cost[j]))
+        return (
+            1,
+            float(self.overflow_w[j])
+            + float(self.overflow_h[j])
+            + float(self.m_cost[j])
+            + float(self.u_cost[j]),
+        )
+
+    def best_index(self) -> int:
+        """First column with the minimal rank (scalar strict-``<`` order).
+
+        Feasible columns always beat infeasible ones; ties keep the
+        earliest column, exactly like the scalar keep-first-minimum
+        loops this replaces.
+        """
+        totals = self.m_cost + self.u_cost
+        if bool(self.feasible.any()):
+            key = np.where(self.feasible, totals, np.inf)
+            return int(key.argmin())
+        key = ((self.overflow_w + self.overflow_h) + self.m_cost) + self.u_cost
+        return int(key.argmin())
+
+    def worst_index(self) -> int:
+        """First column with the maximal total, preferring feasible ones.
+
+        Mirrors ``worst_sampled_evaluation``'s scalar scan: the worst
+        *feasible* candidate wins when one exists; otherwise the first
+        candidate overall (every infeasible total is ``inf`` and the
+        scalar strict-``>`` scan keeps the first).
+        """
+        totals = self.m_cost + self.u_cost
+        if bool(self.feasible.any()):
+            key = np.where(self.feasible, totals, -np.inf)
+            return int(key.argmax())
+        return 0
+
+    # -- materialization -----------------------------------------------------
+
+    def breakdown(self, j: int) -> CostBreakdown:
+        """The full :class:`CostBreakdown` of column ``j``."""
+        if self._seq_ok:
+            pair_costs = tuple(
+                row if isinstance(row, float) else float(row[j])
+                for row in self._pair_rows
+            )
+            effort = (
+                self.effort_total
+                if isinstance(self.effort_total, float)
+                else float(self.effort_total[j])
+            )
+        else:
+            pair_costs = ()
+            effort = 0.0
+        return CostBreakdown(
+            m_cost=float(self.m_cost[j]),
+            u_cost=float(self.u_cost[j]),
+            feasible=bool(self.feasible[j]),
+            width=float(self.width[j]),
+            height=float(self.height[j]),
+            steiner_nodes=self.steiner_total,
+            effort=effort,
+            pair_costs=pair_costs,
+            overflow_w=float(self.overflow_w[j]),
+            overflow_h=float(self.overflow_h[j]),
+        )
+
+    def breakdowns(self) -> List[CostBreakdown]:
+        """Materialize every column (parity tests / benchmarks)."""
+        return [self.breakdown(j) for j in range(len(self))]
+
+
+# -- the batched kernel ----------------------------------------------------------
+
+# Box-pass step kinds (compiled once per kernel, executed per population).
+_LEAF_CONST = 0  # (w, h) candidate-invariant
+_LEAF_DEC = 1  # widget decision leaf: gathered per-option box columns
+_VBOX = 2  # fixed vertical box
+_HBOX = 3  # fixed horizontal box
+_OBOX = 4  # orientation decision box: both layouts + mask select
+_TABS = 5  # fixed tabs container
+_ADDER = 6  # fixed adder container
+
+
+class BatchCostKernel:
+    """Evaluates K decision vectors of one compiled kernel simultaneously.
+
+    Compiled *from* a :class:`CostKernel` (it reuses the flat skeleton,
+    pair sets, and lazy value tables); holds its own mutable population
+    state — ``codes`` per decision, per-node ``M``/effort/box rows, and
+    per-pair cost rows — mirroring the scalar kernel's candidate state
+    across the candidate axis.
+
+    Usage::
+
+        batch = BatchCostKernel(kernel)
+        bb = batch.evaluate_population(vectors)   # K columns
+        j = bb.best_index()
+        best = bb.breakdown(j)                    # == kernel.evaluate(vectors[j])
+
+    Column-wise :meth:`apply_delta` exists for delta-shaped callers and
+    the permutation-independence tests; populations whose columns arrive
+    in any order converge to identical state.
+    """
+
+    def __init__(self, kernel: CostKernel) -> None:
+        if np is None:
+            raise BatchCompileError("numpy is not available")
+        self.kernel = kernel
+        self.schema = kernel.schema
+        self.weights = kernel.weights
+        self.screen = kernel.screen
+        # Shared skeleton invariants (the scalar kernel owns them; the
+        # batch kernel only reads).
+        self._parent = kernel._parent
+        self._children = kernel._children
+        self._dec_node = list(kernel._dec_node)
+        self._node_pairs = kernel._node_pairs
+        self._pair_touched = kernel._pair_touched
+        self._num_nodes = kernel._num_nodes
+        self._num_pairs = kernel._num_pairs
+        self._seq_ok = kernel.sequence.ok
+        self._compile()
+        # Mutable population state (built by set_population).
+        self._K = 0
+        self._codes: List[object] = []
+        self._m_rows: List[object] = []
+        self._eff_rows: List[object] = []
+        self._bw: List[object] = []
+        self._bh: List[object] = []
+        self._pair_effort: List[object] = []
+        self._pair_cost: List[object] = []
+        self._m_total: Optional[object] = None
+        self._u_totals: Optional[Tuple[object, object]] = None
+
+    # -- compilation ---------------------------------------------------------
+
+    def _compile(self) -> None:
+        kernel = self.kernel
+        n = self._num_nodes
+        decisions = self.schema.decisions
+
+        # Per-decision option encodings + gather tables.
+        self._opt_values: List[Tuple[object, ...]] = []
+        self._opt_index: List[Dict[object, int]] = []
+        self._m_opt: List[Optional[object]] = []
+        self._eff_opt: List[Optional[object]] = []
+        self._bw_opt: List[Optional[object]] = []
+        self._bh_opt: List[Optional[object]] = []
+        self._orient_m: List[Optional[Tuple[float, float]]] = []
+        for d, decision in enumerate(decisions):
+            options = self.schema.options_for(d)
+            self._opt_values.append(tuple(options))
+            self._opt_index.append({value: o for o, value in enumerate(options)})
+            node = self._dec_node[d]
+            if isinstance(decision, WidgetDecision):
+                if kernel._orient_dec[node] >= 0:
+                    raise BatchCompileError("node carries two decision kinds")
+                if self._children[node]:
+                    # Decision nodes are derivation leaves; a candidate
+                    # container name over real children would need the
+                    # child rows per option — scalar handles it, the
+                    # gather tables do not.
+                    raise BatchCompileError("widget decision node has children")
+                m_col = np.empty(len(options))
+                eff_col = np.empty(len(options))
+                bw_col = np.empty(len(options))
+                bh_col = np.empty(len(options))
+                for o, (name, size_class) in enumerate(options):
+                    m_col[o] = kernel._m_of(node, name)
+                    eff_col[o] = kernel._eff_of(node, name, size_class)
+                    w, h = self._leaf_box(node, name, size_class)
+                    bw_col[o] = w
+                    bh_col[o] = h
+                self._m_opt.append(m_col)
+                self._eff_opt.append(eff_col)
+                self._bw_opt.append(bw_col)
+                self._bh_opt.append(bh_col)
+                self._orient_m.append(None)
+            else:
+                if kernel._choice_path[node] is not None:
+                    # An orientation node on a choice path would make its
+                    # effort orientation-dependent; the scalar kernel
+                    # handles that, the gather tables here do not.
+                    raise BatchCompileError("orientation node on a choice path")
+                self._m_opt.append(None)
+                self._eff_opt.append(None)
+                self._bw_opt.append(None)
+                self._bh_opt.append(None)
+                self._orient_m.append(
+                    (kernel._m_of(node, "vertical"), kernel._m_of(node, "horizontal"))
+                )
+
+        # Per-node M / effort descriptors: a decision index or a constant.
+        # (-1, const) = fixed; (d, None) = gathered from decision d's table.
+        self._node_m: List[Tuple[int, float]] = []
+        self._node_eff: List[Tuple[int, float]] = []
+        for i in range(n):
+            wd = kernel._widget_dec[i]
+            od = kernel._orient_dec[i]
+            if wd >= 0:
+                self._node_m.append((wd, 0.0))
+                self._node_eff.append((wd, 0.0))
+            elif od >= 0:
+                self._node_m.append((od, 0.0))
+                self._node_eff.append((-1, 0.0))
+            else:
+                name, size = kernel._fixed_name[i], kernel._fixed_size[i]
+                self._node_m.append((-1, kernel._m_of(i, name)))
+                eff = (
+                    kernel._eff_of(i, name, size)
+                    if kernel._choice_path[i] is not None
+                    else 0.0
+                )
+                self._node_eff.append((-1, eff))
+        self._is_widget_dec = [kernel._widget_dec[i] >= 0 for i in range(n)]
+
+        # The box program: one step per node, stored in the reverse
+        # preorder the scalar pass runs in (children before parents).
+        steps: List[Optional[tuple]] = [None] * n
+        for i in range(n):
+            steps[i] = self._compile_box_step(i)
+        self._box_step: List[tuple] = steps  # indexed by node
+        self._box_order = list(range(n - 1, -1, -1))
+
+        # Pair classification: pairs touching no decision node fold to
+        # compile-time constants (the common case for stable prefixes).
+        self._pair_const_effort: List[Optional[float]] = []
+        self._pair_const_cost: List[Optional[float]] = []
+        self._pair_steiner_cost: List[float] = []
+        steiner_total = 0
+        for p in range(self._num_pairs):
+            touched = self._pair_touched[p]
+            steiner_cost = self.weights.steiner * kernel._pair_steiner[p]
+            self._pair_steiner_cost.append(steiner_cost)
+            steiner_total += kernel._pair_steiner[p]
+            if any(self._is_widget_dec[i] for i in touched):
+                self._pair_const_effort.append(None)
+                self._pair_const_cost.append(None)
+            else:
+                effort = _fold_sum(self._node_eff[i][1] for i in touched)
+                self._pair_const_effort.append(effort)
+                self._pair_const_cost.append(
+                    steiner_cost + self.weights.effort * effort
+                )
+        self._steiner_total = steiner_total
+
+    def _compile_box_step(self, i: int) -> tuple:
+        kernel = self.kernel
+        wd = kernel._widget_dec[i]
+        od = kernel._orient_dec[i]
+        kids = self._children[i]
+        titled = bool(kernel._title[i])
+        if wd >= 0:
+            # Per-option boxes come from the gather table, which bakes
+            # the full _compute_box name dispatch for a childless node —
+            # candidates may be container names like "tabs".
+            return (_LEAF_DEC, i, wd)
+        if od >= 0:
+            if not kids:
+                return (_LEAF_CONST, i, 0.0, 0.0)
+            return (_OBOX, i, od, kids, BOX_GAP * (len(kids) - 1), titled)
+        name = kernel._fixed_name[i]
+        size = kernel._fixed_size[i]
+        if name in ("vertical", "horizontal"):
+            if not kids:
+                return (_LEAF_CONST, i, 0.0, 0.0)
+            kind = _VBOX if name == "vertical" else _HBOX
+            return (kind, i, kids, BOX_GAP * (len(kids) - 1), titled)
+        if name == "tabs":
+            header = kernel._wsize_of(i, name, size)
+            if not kids:
+                width = max(header[0], 0.0)
+                height = HEADER_HEIGHT + 0.0
+                return (
+                    _LEAF_CONST,
+                    i,
+                    width + 2 * BOX_PADDING,
+                    height + 2 * BOX_PADDING,
+                )
+            return (_TABS, i, kids, header[0], header[1])
+        if name == "adder":
+            buttons = kernel._wsize_of(i, name, size)
+            if not kids:
+                width = max(buttons[0], 0.0)
+                height = buttons[1] + 0.0 + BOX_GAP
+                return (
+                    _LEAF_CONST,
+                    i,
+                    width + 2 * BOX_PADDING,
+                    height + 2 * BOX_PADDING,
+                )
+            return (_ADDER, i, kids, buttons[0], buttons[1])
+        w, h = kernel._wsize_of(i, name, size)
+        if kernel._title[i]:
+            h = h + TITLE_HEIGHT
+            w = max(w, 7.0 * len(kernel._title[i]))
+        return (_LEAF_CONST, i, w, h)
+
+    def _leaf_box(self, i: int, name: str, size: str) -> Tuple[float, float]:
+        """Scalar ``_compute_box`` for node ``i`` were it named ``name``.
+
+        Widget-decision candidates can be container names ("tabs",
+        "adder", even orientation boxes) — the scalar kernel dispatches
+        its box formula on the *current* name, so the per-option gather
+        table must do the same.  Decision nodes are childless, which
+        collapses each container branch to its empty-content form.
+        """
+        kernel = self.kernel
+        if name in ("vertical", "horizontal"):
+            return (0.0, 0.0)
+        if name == "tabs":
+            header = kernel._wsize_of(i, name, size)
+            width = max(header[0], 0.0)
+            height = HEADER_HEIGHT + 0.0
+            return (width + 2 * BOX_PADDING, height + 2 * BOX_PADDING)
+        if name == "adder":
+            buttons = kernel._wsize_of(i, name, size)
+            width = max(buttons[0], 0.0)
+            height = buttons[1] + 0.0 + BOX_GAP
+            return (width + 2 * BOX_PADDING, height + 2 * BOX_PADDING)
+        w, h = kernel._wsize_of(i, name, size)
+        if kernel._title[i]:
+            h = h + TITLE_HEIGHT
+            w = max(w, 7.0 * len(kernel._title[i]))
+        return (w, h)
+
+    # -- population state ----------------------------------------------------
+
+    def _encode(self, d: int, values: Sequence[object]):
+        index = self._opt_index[d]
+        try:
+            return np.fromiter(
+                (index[v] for v in values), dtype=np.intp, count=len(values)
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"value {exc.args[0]!r} is not an option of decision {d}"
+            ) from None
+
+    def _encode_columns(self, vectors: Sequence[Sequence[object]]):
+        """Per-decision code columns for a population, in one pass each.
+
+        The fused transpose + dict gather (one generator feeding
+        ``np.fromiter``) is the population loader's hot loop: O(D·K)
+        lookups with no intermediate K-lists or object arrays.
+        """
+        K = len(vectors)
+        codes = []
+        for d, index in enumerate(self._opt_index):
+            try:
+                codes.append(
+                    np.fromiter(
+                        (index[vector[d]] for vector in vectors),
+                        dtype=np.intp,
+                        count=K,
+                    )
+                )
+            except KeyError as exc:
+                raise ValueError(
+                    f"value {exc.args[0]!r} is not an option of decision {d}"
+                ) from None
+        return codes
+
+    def set_population(self, vectors: Sequence[Sequence[object]]) -> None:
+        """Load K decision vectors as the current population (columns)."""
+        K = len(vectors)
+        if K == 0:
+            raise ValueError("population must contain at least one vector")
+        num_decisions = len(self.schema.decisions)
+        for vector in vectors:
+            if len(vector) != num_decisions:
+                raise ValueError(
+                    f"vector length {len(vector)} != {num_decisions} decisions"
+                )
+        self._load_codes(self._encode_columns(vectors), K)
+
+    def _load_codes(self, codes: List[object], K: int) -> None:
+        """Load pre-encoded per-decision code columns as the population."""
+        num_decisions = len(self.schema.decisions)
+        self._K = K
+        self._codes = codes
+        self._g_m: List[object] = [None] * num_decisions
+        self._g_eff: List[object] = [None] * num_decisions
+        self._g_bw: List[object] = [None] * num_decisions
+        self._g_bh: List[object] = [None] * num_decisions
+        for d in range(num_decisions):
+            self._refresh_gather(d)
+        self._m_rows = [
+            const if d < 0 else self._g_m[d] for d, const in self._node_m
+        ]
+        self._eff_rows = [
+            const if d < 0 else self._g_eff[d] for d, const in self._node_eff
+        ]
+        self._bw = [0.0] * self._num_nodes
+        self._bh = [0.0] * self._num_nodes
+        for i in self._box_order:
+            self._run_box_step(self._box_step[i])
+        self._pair_effort = list(self._pair_const_effort)
+        self._pair_cost = list(self._pair_const_cost)
+        for p in range(self._num_pairs):
+            if self._pair_cost[p] is None:
+                self._refresh_pair(p)
+        self._m_total = None
+        self._u_totals = None
+        STATS.batch_calls += 1
+        STATS.batched_evals += K
+        if K > STATS.max_batch_size:
+            STATS.max_batch_size = K
+        self.kernel.stats.batched_evals += K
+        if _obs_enabled():
+            _OBS_REGISTRY.histogram("cost.kernel.batch.size").observe(K)
+
+    def _refresh_gather(self, d: int) -> None:
+        codes = self._codes[d]
+        if self._m_opt[d] is not None:
+            self._g_m[d] = self._m_opt[d][codes]
+            self._g_eff[d] = self._eff_opt[d][codes]
+            self._g_bw[d] = self._bw_opt[d][codes]
+            self._g_bh[d] = self._bh_opt[d][codes]
+        else:
+            m_v, m_h = self._orient_m[d]
+            # ORIENTATIONS order pins code 1 == "horizontal".
+            self._g_m[d] = np.where(codes == 1, m_h, m_v)
+
+    def _run_box_step(self, step: tuple) -> None:
+        kind = step[0]
+        i = step[1]
+        bw, bh = self._bw, self._bh
+        if kind == _LEAF_CONST:
+            bw[i] = step[2]
+            bh[i] = step[3]
+            return
+        if kind == _LEAF_DEC:
+            d = step[2]
+            bw[i] = self._g_bw[d]
+            bh[i] = self._g_bh[d]
+            return
+        if kind == _VBOX or kind == _HBOX:
+            _, _, kids, gaps, titled = step
+            if kind == _VBOX:
+                width = _fold_max([bw[k] for k in kids])
+                height = _fold_sum(bh[k] for k in kids) + gaps
+            else:
+                width = _fold_sum(bw[k] for k in kids) + gaps
+                height = _fold_max([bh[k] for k in kids])
+            width = width + 2 * BOX_PADDING
+            height = height + 2 * BOX_PADDING
+            if titled:
+                height = height + TITLE_HEIGHT
+            bw[i] = width
+            bh[i] = height
+            return
+        if kind == _OBOX:
+            _, _, d, kids, gaps, titled = step
+            kid_w = [bw[k] for k in kids]
+            kid_h = [bh[k] for k in kids]
+            wv = _fold_max(kid_w) + 2 * BOX_PADDING
+            hv = (_fold_sum(kid_h) + gaps) + 2 * BOX_PADDING
+            wh = (_fold_sum(kid_w) + gaps) + 2 * BOX_PADDING
+            hh = _fold_max(kid_h) + 2 * BOX_PADDING
+            if titled:
+                hv = hv + TITLE_HEIGHT
+                hh = hh + TITLE_HEIGHT
+            horizontal = self._codes[d] == 1
+            bw[i] = np.where(horizontal, wh, wv)
+            bh[i] = np.where(horizontal, hh, hv)
+            return
+        if kind == _TABS:
+            _, _, kids, header_w, header_h = step
+            content_w = _fold_max([bw[k] for k in kids])
+            content_h = _fold_max([bh[k] for k in kids])
+            width = _fold_max([header_w, content_w])
+            height = HEADER_HEIGHT + content_h
+            bw[i] = width + 2 * BOX_PADDING
+            bh[i] = height + 2 * BOX_PADDING
+            return
+        # _ADDER
+        _, _, kids, buttons_w, buttons_h = step
+        gaps = BOX_GAP * (len(kids) - 1)
+        content_w = _fold_max([bw[k] for k in kids])
+        content_h = _fold_sum(bh[k] for k in kids) + gaps
+        width = _fold_max([buttons_w, content_w])
+        height = buttons_h + content_h + BOX_GAP
+        bw[i] = width + 2 * BOX_PADDING
+        bh[i] = height + 2 * BOX_PADDING
+
+    def _refresh_pair(self, p: int) -> None:
+        # Touched tuples ascend in sorted-changed-path order — the
+        # reference effort accumulation order (same as the scalar pass).
+        effort = _fold_sum(self._eff_rows[i] for i in self._pair_touched[p])
+        self._pair_effort[p] = effort
+        self._pair_cost[p] = (
+            self._pair_steiner_cost[p] + self.weights.effort * effort
+        )
+
+    def apply_delta(self, index: int, values: Sequence[object]) -> None:
+        """Patch one decision across the population (one value per column).
+
+        The batched mirror of the scalar ``apply_delta``: only the
+        controlled node's rows, its ancestor-chain boxes, and the pairs
+        touching it are recomputed, and the result is independent of the
+        order deltas arrive in (column permutations converge to the same
+        state as a fresh ``set_population``).
+        """
+        num_decisions = len(self.schema.decisions)
+        if not 0 <= index < num_decisions:
+            raise ValueError(
+                f"decision index {index} out of range "
+                f"(schema has {num_decisions} decisions)"
+            )
+        if len(values) != self._K:
+            raise ValueError(
+                f"expected {self._K} per-column values, got {len(values)}"
+            )
+        self._codes[index] = self._encode(index, values)
+        self._refresh_gather(index)
+        node = self._dec_node[index]
+        self._m_rows[node] = self._g_m[index]
+        self._m_total = None
+        if self._m_opt[index] is not None:
+            self._eff_rows[node] = self._g_eff[index]
+            pairs = self._node_pairs[node]
+            for p in pairs:
+                self._refresh_pair(p)
+            if pairs:
+                self._u_totals = None
+        cursor = node
+        while cursor >= 0:
+            self._run_box_step(self._box_step[cursor])
+            cursor = self._parent[cursor]
+        STATS.delta_calls += 1
+
+    def column(self, j: int) -> Tuple[object, ...]:
+        """Decision vector of column ``j`` (decoded from the codes)."""
+        return tuple(
+            self._opt_values[d][int(self._codes[d][j])]
+            for d in range(len(self.schema.decisions))
+        )
+
+    @property
+    def population_size(self) -> int:
+        return self._K
+
+    # -- evaluation -----------------------------------------------------------
+
+    def _as_row(self, value):
+        if isinstance(value, float):
+            return np.full(self._K, value)
+        return value
+
+    def breakdowns(self) -> BatchBreakdowns:
+        """Cost columns of the current population (lazy totals, cached)."""
+        if self._K == 0:
+            raise RuntimeError("no population loaded")
+        if self._m_total is None:
+            self._m_total = _fold_sum(self._m_rows)  # preorder, like scalar
+        m_cost = self._as_row(self.weights.m * self._m_total)
+        width = self._as_row(self._bw[0])
+        height = self._as_row(self._bh[0])
+        feasible = (width <= self.screen.width) & (height <= self.screen.height)
+        if not self._seq_ok:
+            u_cost = np.zeros(self._K)
+            effort_total: object = 0.0
+            feasible = np.zeros(self._K, dtype=bool)
+            steiner_total = 0
+        else:
+            if self._u_totals is None:
+                u_total = _fold_sum(self._pair_cost)
+                effort_total = _fold_sum(self._pair_effort)
+                self._u_totals = (u_total, effort_total)
+            u_total, effort_total = self._u_totals
+            u_cost = self._as_row(self.weights.u * u_total)
+            steiner_total = self._steiner_total
+        return BatchBreakdowns(
+            m_cost=m_cost,
+            u_cost=u_cost,
+            feasible=feasible,
+            width=width,
+            height=height,
+            overflow_w=np.maximum(0.0, width - self.screen.width),
+            overflow_h=np.maximum(0.0, height - self.screen.height),
+            steiner_total=steiner_total,
+            effort_total=effort_total,
+            pair_rows=self._pair_cost if self._seq_ok else (),
+            seq_ok=self._seq_ok,
+        )
+
+    def evaluate_population(
+        self, vectors: Sequence[Sequence[object]]
+    ) -> BatchBreakdowns:
+        """Load and score ``vectors`` in one batched pass."""
+        self.set_population(vectors)
+        return self.breakdowns()
+
+    def enumerate_best(
+        self, cap: int = 5000, chunk: int = 256
+    ) -> Tuple[Tuple[object, ...], CostBreakdown]:
+        """Best ``(vector, breakdown)`` over the enumeration product.
+
+        Candidate ``t``'s code for the decision at enumeration-order
+        position ``i`` is the odometer digit ``(t // stride_i) % n_i``
+        — a pure function of the ordinal — so whole chunks of code
+        columns come from vectorized arange arithmetic with zero
+        per-candidate Python work.  (Digits equal batch codes directly:
+        both sides order options by ``schema.options_for``.)
+
+        Candidate order matches :meth:`CostKernel.iter_enumeration`;
+        within a chunk the first minimal rank wins (``best_index``) and
+        a later chunk only takes over on a strictly smaller rank — the
+        scalar keep-first-minimum tie-break, chunked.
+        """
+        order = self.schema.enumeration_indices
+        counts = [len(self._opt_values[d]) for d in order]
+        # Row-major over `order`: the last position cycles fastest.
+        strides = [0] * len(order)
+        acc = 1
+        for i in range(len(order) - 1, -1, -1):
+            strides[i] = acc
+            acc *= counts[i]
+        total = min(cap, acc)
+        if total <= 0:
+            raise RuntimeError("empty enumeration")
+
+        best_vector: Optional[Tuple[object, ...]] = None
+        best_rank: Optional[Tuple[int, float]] = None
+        best_breakdown: Optional[CostBreakdown] = None
+        num_decisions = len(self.schema.decisions)
+        for lo in range(0, total, chunk):
+            t = np.arange(lo, min(lo + chunk, total), dtype=np.intp)
+            cols: List[object] = [None] * num_decisions
+            for i, d in enumerate(order):
+                if strides[i] >= total:
+                    # This digit never rolls within the cap (also dodges
+                    # int64 overflow on astronomically large products).
+                    cols[d] = np.zeros(len(t), dtype=np.intp)
+                else:
+                    cols[d] = (t // strides[i]) % counts[i]
+            self._load_codes(cols, len(t))
+            bb = self.breakdowns()
+            j = bb.best_index()
+            rank = bb.rank(j)
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best_vector = self.column(j)
+                best_breakdown = bb.breakdown(j)
+        assert best_vector is not None and best_breakdown is not None
+        return best_vector, best_breakdown

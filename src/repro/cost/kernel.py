@@ -160,6 +160,12 @@ class KernelStats:
     delta_evals: int = 0
     adopted_evals: int = 0
     fallback_evals: int = 0
+    #: Candidates scored through the batched population path
+    #: (:mod:`repro.cost.batch`) instead of per-candidate set_vector.
+    batched_evals: int = 0
+    #: Candidates that wanted the batched path (gate on) but fell back
+    #: to scalar evaluation — numpy missing or batch compile failed.
+    batch_fallback_evals: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """Plain-dict snapshot (stable keys, JSON-native values)."""
@@ -407,6 +413,14 @@ class CostKernel:
         self._fixed_name = fixed_name
         self._fixed_size = fixed_size
         self._num_nodes = len(parent)
+        #: Preallocated candidate-state buffers: ``set_vector`` refills
+        #: these in place instead of reallocating four lists per call
+        #: (every slot is overwritten on each full load, so no reset is
+        #: needed between candidates).
+        self._name: List[str] = list(fixed_name)
+        self._size: List[str] = list(fixed_size)
+        self._box_w: List[float] = [0.0] * self._num_nodes
+        self._box_h: List[float] = [0.0] * self._num_nodes
         #: Per-node lazy caches: name -> M(w); (name, size) -> effort/box.
         self._m_table: List[Dict[str, float]] = [{} for _ in parent]
         self._eff_table: List[Dict[Tuple[str, str], float]] = [{} for _ in parent]
@@ -482,6 +496,10 @@ class CostKernel:
                     node_pairs[node].append(p)
         self._node_pairs: List[Tuple[int, ...]] = [tuple(ps) for ps in node_pairs]
         self._num_pairs = len(self._pair_touched)
+        # Preallocated pair buffers (refilled in place by set_vector —
+        # every pair is refreshed on a full load).
+        self._pair_effort: List[float] = [0.0] * self._num_pairs
+        self._pair_cost: List[float] = [0.0] * self._num_pairs
 
     def _steiner_size(self, touched: Tuple[int, ...]) -> int:
         """Node count of the minimal subtree connecting ``touched``.
@@ -613,8 +631,8 @@ class CostKernel:
             )
         self._vector = list(vector)
         n = self._num_nodes
-        self._name = list(self._fixed_name)
-        self._size = list(self._fixed_size)
+        self._name[:] = self._fixed_name
+        self._size[:] = self._fixed_size
         for d, value in enumerate(self._vector):
             node = self._dec_node[d]
             if isinstance(self.schema.decisions[d], WidgetDecision):
@@ -630,12 +648,8 @@ class CostKernel:
             else 0.0
             for i in range(n)
         ]
-        self._box_w = [0.0] * n
-        self._box_h = [0.0] * n
         for i in range(n - 1, -1, -1):
             self._refresh_box(i)
-        self._pair_effort = [0.0] * self._num_pairs
-        self._pair_cost = [0.0] * self._num_pairs
         for p in range(self._num_pairs):
             self._refresh_pair(p)
         self._m_total: Optional[float] = None
@@ -660,12 +674,35 @@ class CostKernel:
         changed-choice sets touch it.  Equal to a full
         :meth:`set_vector` of the updated vector on every breakdown
         field — the delta-equals-full invariant.
+
+        Raises:
+            ValueError: when ``index`` is outside the schema's decision
+                range, or ``value`` does not have the decision's shape
+                (a ``(name, size_class)`` pair for widget decisions, an
+                orientation name for orientation decisions).
         """
+        if not 0 <= index < len(self.schema.decisions):
+            raise ValueError(
+                f"decision index {index} out of range "
+                f"(schema has {len(self.schema.decisions)} decisions)"
+            )
         decision = self.schema.decisions[index]
         node = self._dec_node[index]
+        if isinstance(decision, WidgetDecision):
+            try:
+                name, size_class = value  # type: ignore[misc]
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"widget decision {index} expects a (name, size_class) "
+                    f"pair, got {value!r}"
+                ) from None
+        elif value not in ORIENTATIONS:
+            raise ValueError(
+                f"orientation decision {index} expects one of "
+                f"{ORIENTATIONS}, got {value!r}"
+            )
         self._vector[index] = value
         if isinstance(decision, WidgetDecision):
-            name, size_class = value  # type: ignore[misc]
             self._name[node] = name
             self._size[node] = size_class
             self._m[node] = self._m_of(node, name)

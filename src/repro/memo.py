@@ -287,6 +287,42 @@ def carry(enabled: bool):
         _carry = previous
 
 
+# -- batch gate -----------------------------------------------------------------
+#
+# Fourth switch in the same style: the vectorized batch cost kernel of
+# :mod:`repro.cost.batch` (candidate populations scored as numpy column
+# ops instead of one scalar ``set_vector``/``apply_delta`` per
+# candidate).  Like the columnar and carry gates it is subordinate to
+# the fast-path gate — the reference mode (``fast_paths(False)``) must
+# be the scalar per-candidate path, which doubles as the bit-parity
+# oracle the batch benchmark compares against.
+
+_batch = True
+
+
+def batch_enabled() -> bool:
+    """Whether the batched cost kernel is active (default: yes)."""
+    return _batch and _fast_paths
+
+
+def set_batch(enabled: bool) -> None:
+    """Globally enable/disable the batched cost kernel (benchmarks/tests)."""
+    global _batch
+    _batch = bool(enabled)
+
+
+@contextmanager
+def batch(enabled: bool):
+    """Temporarily force the batch gate (restores the prior setting)."""
+    global _batch
+    previous = _batch
+    _batch = bool(enabled)
+    try:
+        yield
+    finally:
+        _batch = previous
+
+
 # -- memo-table registry --------------------------------------------------------
 
 _CLEARERS: List[Callable[[], None]] = []

@@ -184,15 +184,25 @@ class BeamSearchTask(SearchTask):
         if self._depth >= self._max_depth:
             return False
         evaluator = self.evaluator
-        candidates = []
+        # Collect the level's unseen successors first, then score them as
+        # one cohort: discovery order is evaluation order, so results are
+        # bit-identical to the interleaved loop while each uncached state
+        # batches its sampled assignments through the kernel.
+        frontier: List[DTNode] = []
+        keys: List[str] = []
         for state in self._beam:
             for _, successor in self._engine.neighbors(state):
                 key = successor.canonical_key
                 if key in self._seen:
                     continue
                 self._seen.add(key)
-                cost = evaluator.evaluate(successor).cost
-                candidates.append((cost, key, successor))
+                frontier.append(successor)
+                keys.append(key)
+        evaluated = evaluator.evaluate_many(frontier)
+        candidates = [
+            (item.cost, key, state)
+            for item, key, state in zip(evaluated, keys, frontier)
+        ]
         if not candidates:
             return False
         candidates.sort(key=lambda item: (item[0], item[1]))
@@ -243,13 +253,17 @@ class ExhaustiveSearchTask(SearchTask):
         evaluator.stats.max_fanout = max(
             evaluator.stats.max_fanout, len(neighbors)
         )
+        # Dedupe the expansion first, then score it as one cohort (same
+        # order ⇒ same results; see BeamSearchTask._iterate).
+        unseen: List[DTNode] = []
         for _, successor in neighbors:
             key = successor.canonical_key
             if key in self._seen:
                 continue
             self._seen.add(key)
-            evaluator.evaluate(successor)
-            self._queue.append(successor)
+            unseen.append(successor)
+        evaluator.evaluate_many(unseen)
+        self._queue.extend(unseen)
         evaluator.stats.iterations += 1
         return True
 

@@ -325,8 +325,11 @@ class MCTS:
         )
         if len(moves) > self.config.max_children:
             moves = self.rng.sample(moves, self.config.max_children)
-        simulations_left = self.config.rollouts_per_expansion
+        # Phase 1 — materialize and dedupe the whole child cohort without
+        # evaluating anything: applying moves is pure tree work, so the
+        # expansion's evaluation demand is known up front.
         seen_children = {key}
+        cohort: List[Tuple[str, DTNode]] = []
         for move in moves:
             successor = self.engine.apply(node.state, move)
             child_key = successor.canonical_key
@@ -343,11 +346,18 @@ class MCTS:
                 self.evaluator.stats.max_depth = max(
                     self.evaluator.stats.max_depth, child.depth
                 )
-            # Evaluate the neighbor itself (keeps the incumbent exact for
-            # states one move away), then one simulation from it (paper:
-            # "a random walk ... from all of its immediate neighbor
-            # states" — capped by rollouts_per_expansion for small
-            # budgets; direct evaluation still seeds the child's reward).
+            cohort.append((child_key, successor))
+        # Phase 2 — score the cohort: each uncached child's k sampled
+        # assignments go through one batched kernel population instead of
+        # k scalar loads (see StateEvaluator.evaluate_many).
+        self.evaluator.evaluate_many([state for _, state in cohort])
+        # Phase 3 — rewards, simulations, and backpropagation in cohort
+        # order.  Direct evaluation keeps the incumbent exact for states
+        # one move away; one simulation per child (paper: "a random walk
+        # ... from all of its immediate neighbor states" — capped by
+        # rollouts_per_expansion for small budgets).
+        simulations_left = self.config.rollouts_per_expansion
+        for child_key, successor in cohort:
             direct = self._reward_of(successor)
             if simulations_left > 0:
                 simulations_left -= 1

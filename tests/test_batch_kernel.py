@@ -1,0 +1,310 @@
+"""Batch cost kernel parity: vectorized populations vs the scalar kernel.
+
+The batch kernel's contract (see ``repro/cost/batch.py``) is *exact*
+parity: every per-candidate ``CostBreakdown`` extracted from a batched
+population must equal the scalar compiled kernel's result bit for bit —
+including after chains of batched ``apply_delta`` patches, in any patch
+order.  These tests enforce that on randomized states and populations
+(hypothesis-driven), and pin the gate/fallback plumbing: the
+``memo.batch`` gate changes throughput, never results.
+"""
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import memo
+from repro.cost import (
+    BatchCostKernel,
+    CostModel,
+    coordinate_descent,
+    exhaustive_evaluation,
+    sampled_evaluation,
+    worst_sampled_evaluation,
+)
+from repro.cost.batch import STATS as BATCH_STATS
+from repro.cost.batch import available
+from repro.difftree import initial_difftree
+from repro.layout import Screen
+from repro.rules import default_engine
+from repro.sqlast import parse
+from repro.workloads import sdss_session_sql, tpch_session_sql
+
+WORKLOADS = {
+    "sdss": sdss_session_sql(8, seed=3),
+    "tpch": tpch_session_sql(8, seed=5),
+}
+
+_STATE_CACHE = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _release_cached_models():
+    """Drop cached CostModels at module teardown.
+
+    Their per-instance caches are weak obs sources; keeping the models
+    alive for the whole pytest session would leak ``cache.cost.*``
+    entries into later tests' registry snapshots (test_obs asserts they
+    vanish with their owner).
+    """
+    yield
+    _STATE_CACHE.clear()
+
+
+def state_and_model(workload, walk_seed, steps=6):
+    """A (cached) random-walk state with its model and scalar kernel."""
+    key = (workload, walk_seed, steps)
+    if key not in _STATE_CACHE:
+        asts = [parse(q) for q in WORKLOADS[workload]]
+        engine = default_engine()
+        rng = random.Random(walk_seed)
+        state = initial_difftree(asts)
+        for _ in range(steps):
+            move = engine.random_move(state, rng)
+            if move is None:
+                break
+            state = engine.apply(state, move)
+        model = CostModel(asts, Screen.wide())
+        _STATE_CACHE[key] = (state, model, model.kernel_for(state))
+    return _STATE_CACHE[key]
+
+
+def assert_column_parity(kernel, batch_breakdowns, vectors, context=""):
+    for j, vector in enumerate(vectors):
+        scalar = kernel.evaluate(tuple(vector))
+        batched = batch_breakdowns.breakdown(j)
+        assert batched == scalar, (
+            f"batch/scalar divergence {context} column {j}:\n"
+            f"  batch:  {batched}\n"
+            f"  scalar: {scalar}"
+        )
+
+
+class TestPopulationParity:
+    """evaluate_population columns == scalar evaluations, bit for bit."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        workload=st.sampled_from(sorted(WORKLOADS)),
+        walk_seed=st.integers(0, 7),
+        pop_seed=st.integers(0, 1000),
+        population=st.integers(1, 9),
+    )
+    def test_random_populations(self, workload, walk_seed, pop_seed, population):
+        state, model, kernel = state_and_model(workload, walk_seed)
+        rng = random.Random(pop_seed)
+        vectors = [kernel.schema.random_vector(rng) for _ in range(population)]
+        batch = BatchCostKernel(kernel)
+        bb = batch.evaluate_population(vectors)
+        assert_column_parity(kernel, bb, vectors, context=workload)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        workload=st.sampled_from(sorted(WORKLOADS)),
+        walk_seed=st.integers(0, 7),
+        chain_seed=st.integers(0, 1000),
+    )
+    def test_mixed_delta_chains(self, workload, walk_seed, chain_seed):
+        """Batched apply_delta chains (mixed widget/orientation decisions,
+        per-column values) stay bit-identical to scalar evaluation."""
+        state, model, kernel = state_and_model(workload, walk_seed)
+        schema = kernel.schema
+        if not schema.decisions:
+            return
+        rng = random.Random(chain_seed)
+        K = 4
+        columns = [schema.random_vector(rng) for _ in range(K)]
+        batch = BatchCostKernel(kernel)
+        batch.set_population([list(v) for v in columns])
+        for step in range(12):
+            index = rng.randrange(len(schema.decisions))
+            options = schema.options_for(index)
+            values = [options[rng.randrange(len(options))] for _ in range(K)]
+            for j in range(K):
+                columns[j][index] = values[j]
+            batch.apply_delta(index, values)
+            bb = batch.breakdowns()
+            assert_column_parity(
+                kernel, bb, columns, context=f"{workload} step {step}"
+            )
+
+    def test_best_and_worst_index_match_scalar_scan(self):
+        state, model, kernel = state_and_model("sdss", 2)
+        rng = random.Random(17)
+        vectors = [kernel.schema.random_vector(rng) for _ in range(24)]
+        batch = BatchCostKernel(kernel)
+        bb = batch.evaluate_population(vectors)
+        scalars = [kernel.evaluate(tuple(v)) for v in vectors]
+        best = min(range(len(scalars)), key=lambda j: scalars[j].rank)
+        assert bb.best_index() == best
+        feasible = [j for j, s in enumerate(scalars) if s.feasible]
+        if feasible:
+            worst = max(feasible, key=lambda j: scalars[j].total)
+            assert bb.worst_index() == worst
+
+
+class TestDeltaOrderIndependence:
+    def test_permuted_apply_delta_orders_converge(self):
+        """Patching the same decisions in any order gives the same state."""
+        state, model, kernel = state_and_model("tpch", 1)
+        schema = kernel.schema
+        rng = random.Random(23)
+        K = 5
+        base = [schema.random_vector(rng) for _ in range(K)]
+        indices = list(range(len(schema.decisions)))
+        rng.shuffle(indices)
+        indices = indices[: min(6, len(indices))]
+        patches = []
+        for index in indices:
+            options = schema.options_for(index)
+            patches.append(
+                (index, [options[rng.randrange(len(options))] for _ in range(K)])
+            )
+
+        def run(order):
+            batch = BatchCostKernel(kernel)
+            batch.set_population([list(v) for v in base])
+            for index, values in order:
+                batch.apply_delta(index, values)
+            return batch.breakdowns()
+
+        forward = run(patches)
+        shuffled = list(patches)
+        rng.shuffle(shuffled)
+        backward = run(list(reversed(patches)))
+        permuted = run(shuffled)
+        for j in range(K):
+            assert forward.breakdown(j) == backward.breakdown(j)
+            assert forward.breakdown(j) == permuted.breakdown(j)
+
+    def test_apply_delta_equals_fresh_population(self):
+        """A delta-patched population == set_population from scratch."""
+        state, model, kernel = state_and_model("sdss", 4)
+        schema = kernel.schema
+        rng = random.Random(29)
+        K = 3
+        columns = [schema.random_vector(rng) for _ in range(K)]
+        patched = BatchCostKernel(kernel)
+        patched.set_population([list(v) for v in columns])
+        for _ in range(8):
+            index = rng.randrange(len(schema.decisions))
+            options = schema.options_for(index)
+            values = [options[rng.randrange(len(options))] for _ in range(K)]
+            for j in range(K):
+                columns[j][index] = values[j]
+            patched.apply_delta(index, values)
+        fresh = BatchCostKernel(kernel)
+        fresh.set_population([list(v) for v in columns])
+        for j in range(K):
+            assert patched.breakdowns().breakdown(j) == fresh.breakdowns().breakdown(j)
+
+
+class TestEnumeration:
+    def test_enumerate_best_matches_scalar_enumeration(self):
+        state, model, kernel = state_and_model("tpch", 3)
+        cap = min(600, kernel.schema.num_assignments)
+        batch = BatchCostKernel(kernel)
+        vector, breakdown = batch.enumerate_best(cap=cap, chunk=64)
+        best = None
+        best_vector = None
+        for v, b in kernel.iter_enumeration(cap=cap):
+            if best is None or b.rank < best.rank:
+                # iter_enumeration mutates its vector in place — snapshot.
+                best, best_vector = b, tuple(v)
+        assert breakdown == best
+        assert vector == best_vector
+
+
+class TestGateAndCounters:
+    def test_gate_off_routes_to_scalar(self):
+        state, model, kernel = state_and_model("sdss", 5)
+        with memo.batch(False):
+            assert model.batch_kernel_for(state) is None
+        with memo.batch(True):
+            assert model.batch_kernel_for(state) is not None
+
+    @pytest.mark.parametrize(
+        "optimizer",
+        [
+            lambda m, s: sampled_evaluation(m, s, k=20, rng=random.Random(7)),
+            lambda m, s: exhaustive_evaluation(m, s, cap=400),
+            lambda m, s: coordinate_descent(m, s),
+            lambda m, s: worst_sampled_evaluation(m, s, k=20, rng=random.Random(7)),
+        ],
+        ids=["sampled", "exhaustive", "descent", "worst"],
+    )
+    def test_gate_changes_throughput_never_results(self, optimizer):
+        asts = [parse(q) for q in WORKLOADS["sdss"]]
+        state = initial_difftree(asts)
+        with memo.batch(True):
+            on = optimizer(CostModel(asts, Screen.wide()), state)
+        with memo.batch(False):
+            off = optimizer(CostModel(asts, Screen.wide()), state)
+        assert on.breakdown == off.breakdown
+        assert on.widget_tree == off.widget_tree
+
+    def test_population_stats_and_obs_source(self):
+        from repro.obs import REGISTRY
+
+        state, model, kernel = state_and_model("tpch", 6)
+        before = BATCH_STATS.snapshot()
+        batch = BatchCostKernel(kernel)
+        rng = random.Random(31)
+        batch.evaluate_population(
+            [kernel.schema.random_vector(rng) for _ in range(7)]
+        )
+        after = BATCH_STATS.snapshot()
+        assert after["batched_evals"] - before["batched_evals"] == 7
+        assert after["batch_calls"] - before["batch_calls"] == 1
+        assert after["max_batch_size"] >= 7
+        assert model.kernel_stats.batched_evals >= 7
+        assert "cost.kernel.batch" in REGISTRY.sources()
+
+    def test_fallback_counts_only_failed_compiles(self, monkeypatch):
+        from repro.cost import evaluate as evaluate_mod
+
+        state, model, kernel = state_and_model("sdss", 7)
+        monkeypatch.setattr(
+            type(model), "batch_kernel_for", lambda self, tree: None
+        )
+        before = BATCH_STATS.snapshot()["fallback_scalar_evals"]
+        with memo.batch(True):
+            result = evaluate_mod._batch_for(model, state, 32)
+        assert result is None
+        assert BATCH_STATS.snapshot()["fallback_scalar_evals"] == before + 32
+        assert model.kernel_stats.batch_fallback_evals >= 32
+        # Small one-shot populations route to scalar *by design* — no
+        # fallback is counted for them.
+        before = BATCH_STATS.snapshot()["fallback_scalar_evals"]
+        with memo.batch(True):
+            assert evaluate_mod._batch_for(model, state, 2) is None
+        assert BATCH_STATS.snapshot()["fallback_scalar_evals"] == before
+
+
+class TestValidation:
+    def test_population_shape_errors(self):
+        state, model, kernel = state_and_model("sdss", 0)
+        batch = BatchCostKernel(kernel)
+        with pytest.raises(ValueError):
+            batch.set_population([])
+        with pytest.raises(ValueError):
+            batch.set_population([kernel.schema.greedy_vector()[:-1]])
+        with pytest.raises(ValueError):
+            batch.evaluate_population([["no-such-option"] * len(kernel.schema.decisions)])
+
+    def test_apply_delta_validation(self):
+        state, model, kernel = state_and_model("sdss", 0)
+        batch = BatchCostKernel(kernel)
+        vector = kernel.schema.greedy_vector()
+        batch.set_population([vector, list(vector)])
+        with pytest.raises(ValueError, match="out of range"):
+            batch.apply_delta(len(kernel.schema.decisions), [vector[0]] * 2)
+        with pytest.raises(ValueError):
+            batch.apply_delta(0, [vector[0]])  # wrong column count
+
+    def test_available_reports_numpy(self):
+        assert available()  # importorskip guaranteed numpy above

@@ -339,3 +339,93 @@ class TestBoundedLRU:
         assert len(evaluator._cache) <= 2
         # The incumbent is still tracked even if its entry was evicted.
         assert evaluator.best is not None
+
+
+class TestDeltaValidation:
+    """apply_delta rejects malformed patches with actionable errors."""
+
+    def _kernel(self):
+        asts, states = random_states(WORKLOADS["sdss-session"], seed=41)
+        model = CostModel(asts, Screen.wide())
+        kernel = model.kernel_for(states[-1])
+        kernel.set_vector(kernel.schema.greedy_vector())
+        return kernel
+
+    def test_index_out_of_range_names_decision_count(self):
+        kernel = self._kernel()
+        count = len(kernel.schema.decisions)
+        for bad in (-1, count, count + 7):
+            with pytest.raises(ValueError, match=f"schema has {count} decisions"):
+                kernel.apply_delta(bad, "horizontal")
+
+    def test_widget_decision_rejects_non_pair_values(self):
+        kernel = self._kernel()
+        indices = kernel.schema.widget_indices
+        if not indices:
+            pytest.skip("state has no widget decisions")
+        with pytest.raises(ValueError, match="name, size_class"):
+            kernel.apply_delta(indices[0], "dropdown")  # not a pair
+
+    def test_orientation_decision_rejects_unknown_names(self):
+        kernel = self._kernel()
+        indices = kernel.schema.orientation_indices
+        if not indices:
+            pytest.skip("state has no orientation decisions")
+        with pytest.raises(ValueError, match="orientation decision"):
+            kernel.apply_delta(indices[0], "diagonal")
+
+    def test_failed_validation_leaves_state_untouched(self):
+        kernel = self._kernel()
+        before = kernel.breakdown()
+        count = len(kernel.schema.decisions)
+        with pytest.raises(ValueError):
+            kernel.apply_delta(count, "horizontal")
+        assert_identical(kernel.breakdown(), before, "after rejected delta")
+
+
+class TestBufferReuse:
+    """set_vector reuses preallocated node buffers instead of reallocating."""
+
+    def test_buffers_keep_identity_across_set_vector(self):
+        asts, states = random_states(WORKLOADS["tpch-session"], seed=43)
+        model = CostModel(asts, Screen.wide())
+        kernel = model.kernel_for(states[-1])
+        buffers = (kernel._name, kernel._size, kernel._box_w, kernel._box_h)
+        rng = random.Random(7)
+        for _ in range(5):
+            kernel.set_vector(kernel.schema.random_vector(rng))
+            assert kernel._name is buffers[0]
+            assert kernel._size is buffers[1]
+            assert kernel._box_w is buffers[2]
+            assert kernel._box_h is buffers[3]
+
+    def test_delta_equals_full_invariant(self):
+        """A delta chain == set_vector of the final vector, field for field."""
+        asts, states = random_states(WORKLOADS["synthetic-mixed"], seed=47)
+        model = CostModel(asts, Screen.wide())
+        # kernel_for is LRU-cached per model, so the reference kernel must
+        # come from a *separate* model to be an independent object.
+        reference_model = CostModel(asts, Screen.wide())
+        for state in states:
+            kernel = model.kernel_for(state)
+            schema = kernel.schema
+            if not schema.decisions:
+                continue
+            rng = random.Random(53)
+            vector = schema.greedy_vector()
+            kernel.set_vector(vector)
+            for _ in range(20):
+                index = rng.randrange(len(schema.decisions))
+                options = [
+                    o for o in schema.options_for(index) if o != vector[index]
+                ]
+                if not options:
+                    continue
+                vector[index] = options[rng.randrange(len(options))]
+                kernel.apply_delta(index, vector[index])
+                delta_bd = kernel.breakdown()
+                fresh = reference_model.kernel_for(state)
+                fresh.set_vector(vector)
+                assert_identical(
+                    delta_bd, fresh.breakdown(), "delta vs full set_vector"
+                )

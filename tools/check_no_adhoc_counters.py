@@ -49,6 +49,9 @@ ALLOWLIST = {
     # Registered via register_source("search.carry", ...); plain-field
     # singleton because harvest/rebase/retention paths bump it per node.
     ("repro/search/carry.py", "STATS"),
+    # Registered via register_source("cost.kernel.batch", ...); plain-field
+    # singleton because set_population/apply_delta bump it per call.
+    ("repro/cost/batch.py", "STATS"),
 }
 
 #: Class-name suffixes that mark a counter-ish singleton.
